@@ -1,0 +1,85 @@
+// E9 — the motivating comparison: a static-membership register (ABD [3])
+// versus the paper's churn-aware protocols, under the same constant churn.
+//
+// ABD's fixed replica set drains as members leave; once fewer than a
+// majority remain, every subsequent operation blocks forever. The dynamic
+// protocols keep serving because joiners become first-class replicas.
+#include <iostream>
+
+#include "harness/sweep.h"
+#include "stats/table.h"
+
+using namespace dynreg;
+
+namespace {
+
+harness::ExperimentConfig base_config(harness::Protocol protocol) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = 15;
+  cfg.delta = 5;
+  cfg.duration = 4000;
+  cfg.workload.read_interval = 15;
+  cfg.workload.write_interval = 80;
+  if (protocol == harness::Protocol::kEventuallySync) {
+    cfg.timing = harness::Timing::kEventuallySynchronous;
+    cfg.gst = 0;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E9: static ABD vs churn-aware protocols ===\n";
+  std::cout << "reproduces: Section 1 motivation, Section 6 related work\n\n";
+
+  const std::vector<double> churn_rates{0.0, 0.0005, 0.001, 0.002, 0.005, 0.01};
+
+  stats::Table table({"churn c", "abd read compl", "abd write compl", "es read compl",
+                      "es write compl", "sync read compl", "sync join compl"});
+
+  for (const double c : churn_rates) {
+    auto configure = [c](harness::ExperimentConfig& cfg) {
+      cfg.churn_rate = c;
+      if (c == 0.0) cfg.churn_kind = harness::ChurnKind::kNone;
+    };
+
+    auto run3 = [&configure](harness::Protocol protocol) {
+      std::vector<harness::MetricsReport> runs;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto cfg = base_config(protocol);
+        configure(cfg);
+        cfg.seed = seed * 1009;
+        runs.push_back(harness::run_experiment(cfg));
+      }
+      return runs;
+    };
+
+    const auto abd = run3(harness::Protocol::kAbd);
+    const auto es = run3(harness::Protocol::kEventuallySync);
+    const auto sync = run3(harness::Protocol::kSync);
+
+    auto mean = [](const std::vector<harness::MetricsReport>& runs,
+                   double (harness::MetricsReport::*fn)() const) {
+      double s = 0;
+      for (const auto& r : runs) s += (r.*fn)();
+      return s / static_cast<double>(runs.size());
+    };
+
+    table.add_row({stats::Table::fmt(c, 4),
+                   stats::Table::fmt(mean(abd, &harness::MetricsReport::read_completion_rate), 3),
+                   stats::Table::fmt(mean(abd, &harness::MetricsReport::write_completion_rate), 3),
+                   stats::Table::fmt(mean(es, &harness::MetricsReport::read_completion_rate), 3),
+                   stats::Table::fmt(mean(es, &harness::MetricsReport::write_completion_rate), 3),
+                   stats::Table::fmt(mean(sync, &harness::MetricsReport::read_completion_rate), 3),
+                   stats::Table::fmt(mean(sync, &harness::MetricsReport::join_completion_rate), 3)});
+  }
+
+  std::cout << table.to_string() << "\n";
+  std::cout << "Expected shape (paper): at c = 0 all three serve everything; as c grows\n"
+               "ABD's completion collapses once its fixed majority drains (for n=15 and\n"
+               "a 4000-tick run, around c ~ 0.001-0.002), while the dynamic protocols\n"
+               "stay at ~1.0 — churn awareness is exactly the paper's point.\n";
+  return 0;
+}

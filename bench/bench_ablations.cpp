@@ -1,0 +1,183 @@
+// E11 — ablations of the design choices DESIGN.md calls out:
+//
+//  (a) Regular vs atomic ES reads: what the read write-back buys (zero
+//      new/old inversions) and what it costs (an extra quorum round trip).
+//  (b) Footnote 4's optimized join: delta + delta' instead of 2*delta for
+//      the inquiry phase.
+//  (c) The reliable-channel assumption: what breaks first under omission
+//      faults, per protocol.
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/sweep.h"
+#include "stats/table.h"
+
+using namespace dynreg;
+
+namespace {
+
+/// Adversary forcing the textbook new/old inversion on the regular ES
+/// variant (see tests/dynreg/es_atomic_test.cpp for the construction).
+std::unique_ptr<net::DelayModel> inversion_adversary() {
+  return std::make_unique<net::AsyncAdversarialDelay>(
+      200, [](sim::Time, sim::ProcessId from, sim::ProcessId to,
+              const net::Payload& p) -> std::optional<sim::Duration> {
+        const std::string_view type = p.type_name();
+        if (type == "es.write" && to >= 2) return 100;
+        if (type == "es.reply" && (from == 0 || from == 1) && to == 2) return 100;
+        return 2;
+      });
+}
+
+/// Runs the scripted scenario once; returns true if the two sequential
+/// reads came back inverted (r1 newer than r2).
+bool scripted_inversion_occurs(bool atomic_reads, std::uint64_t seed) {
+  EsConfig cfg;
+  cfg.n = 5;
+  cfg.atomic_reads = atomic_reads;
+  bench::ScriptedCluster cluster(
+      seed, 5, 0.0, churn::LeavePolicy::kUniform, inversion_adversary(),
+      [cfg](sim::ProcessId id, node::Context& ctx, bool initial) {
+        return std::make_unique<EsRegisterNode>(id, ctx, cfg, initial);
+      });
+  cluster.node(0)->write(1, [] {});
+  bench::pump_until(cluster.sim, [&] { return cluster.node(1)->local_value() == 1; }, 50);
+  const auto r1 = cluster.read_blocking(1, 400);
+  const auto r2 = cluster.read_blocking(2, 400);
+  return r1.has_value() && r2.has_value() && *r1 > *r2;
+}
+
+void ablate_atomic_reads() {
+  stats::Table table({"ES variant", "read latency", "write latency",
+                      "adversarial inversions / 8", "violation rate"});
+  for (const bool atomic : {false, true}) {
+    double lat_r = 0, lat_w = 0, viol = 0;
+    const int seeds = 5;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      harness::ExperimentConfig cfg;
+      cfg.protocol = harness::Protocol::kEventuallySync;
+      cfg.timing = harness::Timing::kEventuallySynchronous;
+      cfg.gst = 0;
+      cfg.es_atomic_reads = atomic;
+      cfg.n = 9;
+      cfg.delta = 8;
+      cfg.duration = 4000;
+      cfg.seed = seed;
+      cfg.churn_kind = harness::ChurnKind::kNone;
+      cfg.workload.read_interval = 2;
+      cfg.workload.write_interval = 20;
+      const auto r = harness::run_experiment(cfg);
+      lat_r += r.read_latency_mean;
+      lat_w += r.write_latency_mean;
+      viol += r.regularity.violation_rate();
+    }
+    int inversions = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      if (scripted_inversion_occurs(atomic, seed)) ++inversions;
+    }
+    table.add_row({atomic ? "atomic (write-back)" : "regular (paper)",
+                   stats::Table::fmt(lat_r / seeds, 2), stats::Table::fmt(lat_w / seeds, 2),
+                   std::to_string(inversions), stats::Table::fmt(viol / seeds, 4)});
+  }
+  std::cout << "-- (a) regular vs atomic ES reads --\n" << table.to_string() << "\n";
+}
+
+void ablate_fast_join() {
+  stats::Table table({"join variant", "delta", "delta'", "mean join latency",
+                      "violation rate"});
+  struct Case {
+    std::optional<sim::Duration> dpp;
+  };
+  for (const Case c : {Case{std::nullopt}, Case{2}, Case{1}}) {
+    double lat = 0, viol = 0;
+    const int seeds = 3;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      harness::ExperimentConfig cfg;
+      cfg.protocol = harness::Protocol::kSync;
+      cfg.n = 30;
+      cfg.delta = 10;
+      cfg.duration = 3000;
+      cfg.seed = seed;
+      cfg.churn_rate = 0.01;
+      cfg.sync_delta_pp = c.dpp;
+      cfg.workload.read_interval = 5;
+      cfg.workload.write_interval = 40;
+      const auto r = harness::run_experiment(cfg);
+      lat += r.join_latency_mean;
+      viol += r.regularity.violation_rate();
+    }
+    table.add_row({c.dpp ? "fast (footnote 4)" : "standard (2*delta)", "10",
+                   c.dpp ? std::to_string(*c.dpp) : "-", stats::Table::fmt(lat / seeds, 2),
+                   stats::Table::fmt(viol / seeds, 4)});
+  }
+  std::cout << "-- (b) footnote 4 optimized join --\n" << table.to_string() << "\n";
+}
+
+void ablate_reliability() {
+  stats::Table table({"loss rate", "sync violation rate", "sync+refresh violation rate",
+                      "es read completion", "es violation rate"});
+  for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    double sync_viol = 0, refresh_viol = 0, es_compl = 0, es_viol = 0;
+    const int seeds = 3;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      harness::ExperimentConfig sync;
+      sync.protocol = harness::Protocol::kSync;
+      sync.n = 20;
+      sync.delta = 5;
+      sync.duration = 2000;
+      sync.seed = seed;
+      sync.churn_rate = 0.005;
+      sync.loss_rate = loss;
+      sync.workload.read_interval = 5;
+      sync.workload.write_interval = 40;
+      const auto rs = harness::run_experiment(sync);
+      sync_viol += rs.regularity.violation_rate();
+
+      // Anti-entropy extension: active processes re-broadcast their copy
+      // every 10 ticks, healing replicas that missed a lost WRITE.
+      harness::ExperimentConfig healed = sync;
+      healed.sync_refresh_interval = 10;
+      const auto rh = harness::run_experiment(healed);
+      refresh_viol += rh.regularity.violation_rate();
+
+      harness::ExperimentConfig es = sync;
+      es.protocol = harness::Protocol::kEventuallySync;
+      es.timing = harness::Timing::kEventuallySynchronous;
+      es.gst = 0;
+      es.churn_rate = 0.001;
+      es.workload.read_interval = 20;
+      es.workload.write_interval = 100;
+      const auto re = harness::run_experiment(es);
+      es_compl += re.read_completion_rate();
+      es_viol += re.regularity.violation_rate();
+    }
+    table.add_row({stats::Table::fmt(loss, 2),
+                   stats::Table::fmt(sync_viol / seeds, 4),
+                   stats::Table::fmt(refresh_viol / seeds, 4),
+                   stats::Table::fmt(es_compl / seeds, 3),
+                   stats::Table::fmt(es_viol / seeds, 4)});
+  }
+  std::cout << "-- (c) reliable-channel assumption (omission faults) --\n"
+            << table.to_string() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E11: design-choice ablations ===\n";
+  std::cout << "reproduces: Section 6 extensions; footnote 4; Section 3.2 assumptions\n\n";
+  ablate_atomic_reads();
+  ablate_fast_join();
+  ablate_reliability();
+  std::cout
+      << "Expected shapes: (a) the write-back removes every inversion and roughly\n"
+         "doubles read latency while write latency is unchanged; (b) join latency\n"
+         "drops from ~delta+2*delta towards delta+delta+delta' with no safety\n"
+         "cost; (c) the time-based sync protocol degrades to stale reads as soon\n"
+         "as channels lose messages (its broadcast is unacknowledged — the paper's\n"
+         "reliability assumption is load-bearing); periodic anti-entropy refresh\n"
+         "recovers most of that safety for a bandwidth price, while the\n"
+         "quorum-based ES protocol keeps safety at every loss rate by\n"
+         "construction and only loses liveness.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E8 — sensitivity of the ES protocol to the stabilization time and to the
+// severity of pre-GST asynchrony.
+//
+// The protocol never knows GST; operations simply block until quorums get
+// through. Three sweeps:
+//   1. GST position (no churn): operations issued before GST block and then
+//      complete shortly after stabilization — liveness recovers, safety
+//      never wavers.
+//   2. Pre-GST adversary severity (no churn): harsher pre-GST delays raise
+//      latency, not violations.
+//   3. GST x churn interplay: with churn on, every tick of asynchrony
+//      eats at the active majority (joins cannot complete before GST), so
+//      the majority-active assumption |A(t)| > n/2 only survives while the
+//      asynchronous period is short relative to 1/c — an emergent
+//      constraint the paper's Section 5 assumptions encode.
+#include <iostream>
+
+#include "harness/sweep.h"
+#include "stats/table.h"
+
+using namespace dynreg;
+
+namespace {
+
+harness::ExperimentConfig base_config() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kEventuallySync;
+  cfg.timing = harness::Timing::kEventuallySynchronous;
+  cfg.n = 15;
+  cfg.delta = 5;
+  cfg.duration = 6000;
+  cfg.pre_gst_max = 300;
+  cfg.churn_kind = harness::ChurnKind::kNone;
+  cfg.workload.read_interval = 15;
+  cfg.workload.write_interval = 80;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E8: GST sensitivity of the ES protocol ===\n";
+  std::cout << "reproduces: Section 5.1 model (eventual timely delivery)\n\n";
+
+  {
+    const auto points = harness::sweep(
+        base_config(), {0.0, 500.0, 1000.0, 2000.0, 4000.0},
+        [](harness::ExperimentConfig& cfg, double gst) {
+          cfg.gst = static_cast<sim::Time>(gst);
+        },
+        /*seeds=*/3);
+    stats::Table table({"GST", "read completion", "write completion",
+                        "mean read latency", "p99-ish max latency", "violation rate"});
+    for (const auto& p : points) {
+      const double max_lat = harness::mean_of(p.runs, [](const harness::MetricsReport& r) {
+        return static_cast<double>(r.read_latency_p99);
+      });
+      table.add_row({stats::Table::fmt(p.x, 0),
+                     stats::Table::fmt(p.mean_read_completion(), 3),
+                     stats::Table::fmt(p.mean_write_completion(), 3),
+                     stats::Table::fmt(p.mean_read_latency(), 1),
+                     stats::Table::fmt(max_lat, 0),
+                     stats::Table::fmt(p.mean_violation_rate(), 4)});
+    }
+    std::cout << "-- sweep 1: stabilization time (no churn; pre-GST max delay 300) --\n"
+              << table.to_string() << "\n";
+  }
+
+  {
+    auto cfg = base_config();
+    cfg.gst = 2000;
+    const auto points = harness::sweep(
+        cfg, {10.0, 50.0, 150.0, 300.0, 600.0},
+        [](harness::ExperimentConfig& c, double m) {
+          c.pre_gst_max = static_cast<sim::Duration>(m);
+        },
+        /*seeds=*/3);
+    stats::Table table({"pre-GST max delay", "read completion", "write completion",
+                        "mean read latency", "violation rate"});
+    for (const auto& p : points) {
+      table.add_row({stats::Table::fmt(p.x, 0),
+                     stats::Table::fmt(p.mean_read_completion(), 3),
+                     stats::Table::fmt(p.mean_write_completion(), 3),
+                     stats::Table::fmt(p.mean_read_latency(), 1),
+                     stats::Table::fmt(p.mean_violation_rate(), 4)});
+    }
+    std::cout << "-- sweep 2: pre-GST adversary severity (no churn; GST = 2000) --\n"
+              << table.to_string() << "\n";
+  }
+
+  {
+    auto cfg = base_config();
+    cfg.churn_kind = harness::ChurnKind::kConstant;
+    cfg.churn_rate = cfg.es_churn_threshold();
+    const auto points = harness::sweep(
+        cfg, {0.0, 50.0, 100.0, 250.0, 500.0, 1000.0},
+        [](harness::ExperimentConfig& c, double gst) {
+          c.gst = static_cast<sim::Time>(gst);
+        },
+        /*seeds=*/3);
+    stats::Table table({"GST", "majority survived", "joins done / begun", "read completion",
+                        "violation rate"});
+    for (const auto& p : points) {
+      const double majority = harness::mean_of(p.runs, [](const harness::MetricsReport& r) {
+        return r.majority_active_always ? 1.0 : 0.0;
+      });
+      // Raw fraction (not the excused-join completion rate): under heavy
+      // asynchrony most joiners are churned out before activating, which
+      // the excused rate would hide.
+      const double raw_joins = harness::mean_of(p.runs, [](const harness::MetricsReport& r) {
+        return r.joins_started == 0 ? 1.0
+                                    : static_cast<double>(r.joins_completed) /
+                                          static_cast<double>(r.joins_started);
+      });
+      table.add_row({stats::Table::fmt(p.x, 0), stats::Table::fmt(majority, 2),
+                     stats::Table::fmt(raw_joins, 3),
+                     stats::Table::fmt(p.mean_read_completion(), 3),
+                     stats::Table::fmt(p.mean_violation_rate(), 4)});
+    }
+    std::cout << "-- sweep 3: GST x churn interplay (churn at the ES bound) --\n"
+              << table.to_string() << "\n";
+  }
+
+  std::cout << "Expected shape (paper): safety never depends on GST (violation rate 0\n"
+               "everywhere — Theorem 4 needs no synchrony); without churn, liveness\n"
+               "recovers right after stabilization at any GST, with latency absorbing\n"
+               "the wait. With churn on, joins cannot complete while the network is\n"
+               "asynchronous, so a long pre-GST period drains |A(t)| below n/2 and the\n"
+               "system cannot recover even after GST — the majority-active assumption\n"
+               "of Section 5.2 implicitly bounds churn DURING the asynchronous period.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E2 — Lemma 2: |A(tau, tau+3*delta)| >= n(1 - 3*delta*c), positive iff
+// c < 1/(3*delta).
+//
+// Sweeps the churn rate as a fraction of the threshold and reports, per
+// point: the analytic bound, the measured |A(0, 3*delta)| from the
+// fully-active start (the lemma's exact setting), and the steady-state
+// minimum over all windows (which also pays the joins-in-progress cost).
+// Departures use the adversarial oldest-active-first policy — Lemma 2's
+// worst case.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace dynreg;
+
+int main() {
+  bench::print_header("E2: Lemma 2 active-window bound", "Lemma 2, Section 3.4");
+
+  constexpr std::size_t kN = 60;
+  constexpr sim::Duration kDelta = 5;
+  constexpr sim::Time kHorizon = 800;
+  const double threshold = 1.0 / (3.0 * static_cast<double>(kDelta));
+
+  stats::Table table({"c/threshold", "churn c", "analytic n(1-3dc)", "measured |A(0,3d)|",
+                      "steady min |A(t,t+3d)|", "bound positive"});
+
+  for (const double fraction :
+       {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25}) {
+    const double c = fraction * threshold;
+    SyncConfig cfg;
+    cfg.delta = kDelta;
+    auto cluster = bench::ScriptedCluster::sync(
+        17, kN, c, cfg, std::make_unique<net::SynchronousDelay>(kDelta),
+        churn::LeavePolicy::kOldestActiveFirst);
+    cluster->sim.run_until(kHorizon);
+
+    const auto& chron = cluster->system->chronicle();
+    const sim::Duration window = 3 * kDelta;
+    const std::size_t initial_window = chron.active_through(0, window);
+    std::size_t steady_min = kN;
+    for (sim::Time t = 0; t + window < kHorizon; t += 3) {
+      steady_min = std::min(steady_min, chron.active_through(t, t + window));
+    }
+
+    const double analytic =
+        static_cast<double>(kN) * (1.0 - 3.0 * static_cast<double>(kDelta) * c);
+    table.add_row({stats::Table::fmt(fraction, 2), stats::Table::fmt(c, 4),
+                   stats::Table::fmt(std::max(0.0, analytic), 1),
+                   std::to_string(initial_window), std::to_string(steady_min),
+                   analytic > 0.0 ? "yes" : "NO"});
+  }
+
+  std::cout << table.to_string() << "\n";
+  std::cout << "Expected shape (paper): measured |A(0,3d)| tracks the analytic bound\n"
+               "n(1-3*delta*c) and stays positive up to c = 1/(3*delta) = "
+            << stats::Table::fmt(threshold, 4)
+            << ".\nThe steady-state minimum is lower (it also excludes processes whose\n"
+               "joins are in progress) and hits zero before the threshold — the bound\n"
+               "is tight only from a fully-active start, as in the lemma's proof.\n";
+  return 0;
+}

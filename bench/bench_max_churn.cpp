@@ -1,0 +1,96 @@
+// E10 — the conclusion's open question: what is the greatest churn rate a
+// synchronous system can sustain, as a function of the delay bound delta?
+//
+// Setup that isolates the threshold (no pinned writer to lean on): writes
+// are disabled and no process is exempt from churn, so the register's
+// initial value must survive purely through join inquiry chains — the
+// paper's durability argument in its purest form. A run "fails" when some
+// read returns bottom (the information died). For each delta, a churn grid
+// locates the empirical maximum sustainable c, compared against the
+// analytic sufficient bound 1/(3*delta), under both uniform and
+// adversarial departures.
+#include <iostream>
+
+#include "harness/sweep.h"
+#include "stats/table.h"
+
+using namespace dynreg;
+
+namespace {
+
+harness::ExperimentConfig survival_config(sim::Duration delta) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kSync;
+  cfg.n = 30;
+  cfg.delta = delta;
+  cfg.duration = 3000;
+  cfg.workload.writes_enabled = false;  // survival mode: no writer crutch
+  cfg.workload.read_interval = 5;
+  return cfg;
+}
+
+/// Fraction of runs in which the value survived (no read of bottom).
+double survival_fraction(const std::vector<harness::MetricsReport>& runs) {
+  double ok = 0;
+  for (const auto& r : runs) {
+    if (r.reads_of_bottom == 0 && r.regularity.ok()) ok += 1.0;
+  }
+  return ok / static_cast<double>(runs.size());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E10: empirical maximum sustainable churn ===\n";
+  std::cout << "reproduces: Section 7 open question (greatest c as a function of delta)\n\n";
+
+  const std::vector<double> grid{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0};
+
+  for (const churn::LeavePolicy policy :
+       {churn::LeavePolicy::kUniform, churn::LeavePolicy::kOldestActiveFirst}) {
+    std::cout << "-- "
+              << (policy == churn::LeavePolicy::kUniform ? "uniform departures"
+                                                         : "adversarial departures")
+              << " (survival mode: no writes, nobody exempt) --\n";
+    stats::Table summary({"delta", "analytic 1/(3d)", "empirical max c (grid)",
+                          "empirical/analytic"});
+    for (const sim::Duration delta : {3u, 5u, 8u}) {
+      auto cfg = survival_config(delta);
+      cfg.leave_policy = policy;
+      const double threshold = cfg.sync_churn_threshold();
+
+      const auto points = harness::sweep(
+          cfg, grid,
+          [threshold](harness::ExperimentConfig& c, double f) {
+            c.churn_rate = f * threshold;
+          },
+          /*seeds=*/4);
+
+      double max_clean_fraction = 0.0;
+      stats::Table detail({"c/threshold", "survival fraction", "violation rate",
+                           "min |A(t,t+3d)|"});
+      for (const auto& p : points) {
+        const double surv = survival_fraction(p.runs);
+        if (surv == 1.0) max_clean_fraction = p.x;
+        detail.add_row({stats::Table::fmt(p.x, 2), stats::Table::fmt(surv, 2),
+                        stats::Table::fmt(p.mean_violation_rate(), 4),
+                        stats::Table::fmt(p.mean_min_active_3delta(), 1)});
+      }
+      std::cout << "delta = " << delta << " (threshold c = "
+                << stats::Table::fmt(threshold, 4) << ")\n"
+                << detail.to_string();
+      summary.add_row({std::to_string(delta), stats::Table::fmt(threshold, 4),
+                       stats::Table::fmt(max_clean_fraction * threshold, 4),
+                       stats::Table::fmt(max_clean_fraction, 2)});
+    }
+    std::cout << "summary:\n" << summary.to_string() << "\n";
+  }
+
+  std::cout << "Expected shape (paper): the analytic bound 1/(3*delta) is sufficient —\n"
+               "survival is certain below it for every delta. It is nearly necessary\n"
+               "under adversarial departures (empirical/analytic close to 1), while\n"
+               "uniform departures leave some slack: late joiners can get lucky and\n"
+               "find an informed replier even past the bound. The empirical maximum\n"
+               "scales like 1/delta, answering the conclusion's question in shape.\n";
+  return 0;
+}

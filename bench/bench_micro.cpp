@@ -1,0 +1,129 @@
+// M1 — substrate microbenchmarks (google-benchmark): event-queue
+// throughput, network dispatch, consistency checking, and a full
+// experiment run as an end-to-end figure of merit.
+#include <benchmark/benchmark.h>
+
+#include "consistency/regularity_checker.h"
+#include "harness/experiment.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace dynreg;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.push(static_cast<sim::Time>(i * 7 % 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulationEventChain(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    std::uint64_t remaining = events;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_after(1, tick);
+    };
+    sim.schedule_at(0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulationEventChain)->Arg(10000);
+
+struct NoopPayload final : net::Payload {
+  std::string_view type_name() const override { return "noop"; }
+};
+
+void BM_NetworkBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    net::Network network(sim, std::make_unique<net::FixedDelay>(1));
+    for (std::size_t i = 0; i < n; ++i) {
+      network.attach(i, [](sim::ProcessId, const net::Payload&) {});
+    }
+    for (int b = 0; b < 10; ++b) network.broadcast(0, net::make_payload<NoopPayload>());
+    sim.run();
+    benchmark::DoNotOptimize(network.stats().delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 10);
+}
+BENCHMARK(BM_NetworkBroadcast)->Arg(100)->Arg(1000);
+
+void BM_RegularityChecker(benchmark::State& state) {
+  const auto reads = static_cast<std::size_t>(state.range(0));
+  consistency::History history(0);
+  sim::Time t = 0;
+  for (std::size_t w = 1; w <= 50; ++w) {
+    const auto id = history.begin_write(0, t, static_cast<Value>(w));
+    history.complete_write(id, t + 5);
+    t += 10;
+  }
+  for (std::size_t i = 0; i < reads; ++i) {
+    const sim::Time at = (i * 9) % t;
+    const auto id = history.begin_read(1, at);
+    // Return the latest value completed before `at` (valid history).
+    const auto wi = at / 10;
+    history.complete_read(id, at, wi == 0 ? 0 : static_cast<Value>(wi));
+  }
+  for (auto _ : state) {
+    const auto report = consistency::RegularityChecker{}.check(history);
+    benchmark::DoNotOptimize(report.reads_checked);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(reads));
+}
+BENCHMARK(BM_RegularityChecker)->Arg(1000)->Arg(10000);
+
+void BM_FullSyncExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.protocol = harness::Protocol::kSync;
+    cfg.n = 20;
+    cfg.delta = 5;
+    cfg.duration = 1000;
+    cfg.churn_rate = 0.01;
+    cfg.workload.read_interval = 5;
+    cfg.workload.write_interval = 40;
+    const auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.reads_completed);
+  }
+}
+BENCHMARK(BM_FullSyncExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_FullEsExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.protocol = harness::Protocol::kEventuallySync;
+    cfg.timing = harness::Timing::kEventuallySynchronous;
+    cfg.gst = 0;
+    cfg.n = 15;
+    cfg.delta = 5;
+    cfg.duration = 1000;
+    cfg.churn_rate = cfg.es_churn_threshold();
+    cfg.workload.read_interval = 10;
+    cfg.workload.write_interval = 60;
+    const auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.reads_completed);
+  }
+}
+BENCHMARK(BM_FullEsExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E12 — multi-writer extension (the paper's Section 7: "permit any process
+// to write at any time").
+//
+// Concurrent writes are ordered by lexicographic (sn, writer id)
+// timestamps. Sweeps the number of simultaneous writers and reports
+// completion, safety under the generalized (concurrent-writes) regularity
+// predicate, write-overlap counts, and traffic.
+#include <iostream>
+
+#include "harness/sweep.h"
+#include "stats/table.h"
+
+using namespace dynreg;
+
+int main() {
+  std::cout << "=== E12: multi-writer ES register (concurrent writes) ===\n";
+  std::cout << "reproduces: Section 7 open question (quorum-less multi-writer via timestamps)\n\n";
+
+  harness::ExperimentConfig base;
+  base.protocol = harness::Protocol::kEventuallySync;
+  base.timing = harness::Timing::kEventuallySynchronous;
+  base.gst = 0;
+  base.n = 15;
+  base.delta = 5;
+  base.duration = 5000;
+  base.churn_rate = base.es_churn_threshold();
+  base.workload.writer_mode = workload::WriterMode::kConcurrent;
+  base.workload.read_interval = 10;
+  base.workload.write_interval = 40;
+
+  const std::vector<double> writers{1, 2, 3, 5, 7};
+  const auto points = harness::sweep(
+      base, writers,
+      [](harness::ExperimentConfig& cfg, double w) {
+        cfg.workload.concurrent_writers = static_cast<std::size_t>(w);
+      },
+      /*seeds=*/3);
+
+  stats::Table table({"concurrent writers", "writes completed", "overlapping pairs",
+                      "read completion", "violation rate", "mean write latency"});
+  for (const auto& p : points) {
+    const double writes = harness::mean_of(p.runs, [](const harness::MetricsReport& r) {
+      return static_cast<double>(r.writes_completed);
+    });
+    const double overlaps = harness::mean_of(p.runs, [](const harness::MetricsReport& r) {
+      return static_cast<double>(r.regularity.concurrent_write_pairs);
+    });
+    table.add_row({stats::Table::fmt(p.x, 0), stats::Table::fmt(writes, 0),
+                   stats::Table::fmt(overlaps, 0),
+                   stats::Table::fmt(p.mean_read_completion(), 3),
+                   stats::Table::fmt(p.mean_violation_rate(), 4),
+                   stats::Table::fmt(p.mean_write_latency(), 1)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "Expected shape: zero violations at every concurrency level (the\n"
+               "timestamp order totally orders concurrent writes and the generalized\n"
+               "regularity predicate holds); overlapping pairs grow with the writer\n"
+               "count while read completion and write latency stay flat — the paper's\n"
+               "single-writer assumption is a simplification, not a load-bearing\n"
+               "restriction, once writes carry (sn, writer id) timestamps.\n";
+  return 0;
+}

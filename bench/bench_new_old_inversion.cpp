@@ -1,0 +1,80 @@
+// E6 — the introduction's regularity figure: new/old inversions.
+//
+// A regular register may answer two non-concurrent reads in "inverted"
+// order when both overlap the same write. This bench measures inversion
+// frequency for the synchronous protocol as reads increasingly race the
+// delta-long write propagation — and contrasts the ABD baseline, whose
+// read write-back makes it atomic (zero inversions, by construction).
+#include <iostream>
+
+#include "harness/sweep.h"
+#include "stats/table.h"
+
+using namespace dynreg;
+
+namespace {
+
+harness::MetricsReport run_once(harness::Protocol protocol, sim::Duration read_interval,
+                                std::uint64_t seed) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = 16;
+  cfg.delta = 12;  // long write windows maximize read/write concurrency
+  cfg.duration = 4000;
+  cfg.seed = seed;
+  cfg.churn_kind = harness::ChurnKind::kNone;
+  cfg.workload.read_interval = read_interval;
+  cfg.workload.write_interval = 8;
+  if (protocol == harness::Protocol::kAbd) {
+    cfg.workload.write_interval = 20;  // ABD writes are slower; keep them serialized
+  }
+  return harness::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E6: new/old inversions — regular, not atomic ===\n";
+  std::cout << "reproduces: Section 1 figure (regularity vs atomicity)\n\n";
+
+  stats::Table table({"protocol", "read gap (ticks)", "reads checked",
+                      "inversions / 1k reads", "regularity violations"});
+
+  for (const sim::Duration gap : {1u, 2u, 4u, 8u, 16u}) {
+    double inversions = 0, reads = 0, violations = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto r = run_once(harness::Protocol::kSync, gap, seed);
+      inversions += static_cast<double>(r.atomicity.inversion_count);
+      reads += static_cast<double>(r.atomicity.reads_checked);
+      violations += static_cast<double>(r.regularity.violations.size());
+    }
+    table.add_row({"sync (regular)", std::to_string(gap),
+                   stats::Table::fmt(reads / 5.0, 0),
+                   stats::Table::fmt(reads > 0 ? 1000.0 * inversions / reads : 0.0, 3),
+                   stats::Table::fmt(violations, 0)});
+  }
+
+  for (const sim::Duration gap : {1u, 4u}) {
+    double inversions = 0, reads = 0, violations = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto r = run_once(harness::Protocol::kAbd, gap, seed);
+      inversions += static_cast<double>(r.atomicity.inversion_count);
+      reads += static_cast<double>(r.atomicity.reads_checked);
+      violations += static_cast<double>(r.regularity.violations.size());
+    }
+    table.add_row({"abd (atomic)", std::to_string(gap),
+                   stats::Table::fmt(reads / 5.0, 0),
+                   stats::Table::fmt(reads > 0 ? 1000.0 * inversions / reads : 0.0, 3),
+                   stats::Table::fmt(violations, 0)});
+  }
+
+  std::cout << table.to_string() << "\n";
+  std::cout << "Expected shape (paper): the sync register shows a clearly non-zero\n"
+               "inversion rate at every read density (any read overlapping a write may\n"
+               "independently return the old or new value), with zero regularity\n"
+               "violations throughout; the ABD baseline shows exactly zero inversions\n"
+               "(its read write-back enforces atomicity). The rate itself is noisy in\n"
+               "the read gap — one early new-value read turns every subsequent\n"
+               "old-value read of the same window into an inversion.\n";
+  return 0;
+}

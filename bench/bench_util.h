@@ -1,0 +1,101 @@
+// Shared helpers for the benchmark binaries: a minimal scripted cluster
+// (mirroring the protocol wiring of the experiment harness) plus printing
+// conveniences.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "churn/system.h"
+#include "dynreg/es_register.h"
+#include "dynreg/sync_register.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "stats/table.h"
+
+namespace dynreg::bench {
+
+/// Steps the simulation until pred() holds or the deadline passes.
+template <typename Pred>
+bool pump_until(sim::Simulation& sim, Pred pred, sim::Time deadline) {
+  while (!pred()) {
+    const auto next = sim.next_event_time();
+    if (!next || *next > deadline) break;
+    sim.step();
+  }
+  return pred();
+}
+
+/// A scripted protocol deployment (no workload driver; the bench drives).
+class ScriptedCluster {
+ public:
+  ScriptedCluster(std::uint64_t seed, std::size_t n, double churn_rate,
+                  churn::LeavePolicy policy, std::unique_ptr<net::DelayModel> delays,
+                  churn::System::NodeFactory factory)
+      : sim(seed), net(sim, std::move(delays)) {
+    churn::SystemConfig cfg;
+    cfg.initial_size = n;
+    cfg.leave_policy = policy;
+    std::unique_ptr<churn::ChurnModel> model;
+    if (churn_rate > 0.0) {
+      model = std::make_unique<churn::ConstantChurn>(churn_rate);
+    } else {
+      model = std::make_unique<churn::NoChurn>();
+    }
+    system = std::make_unique<churn::System>(sim, net, cfg, std::move(model),
+                                             std::move(factory));
+    system->bootstrap();
+  }
+
+  static std::unique_ptr<ScriptedCluster> sync(std::uint64_t seed, std::size_t n,
+                                               double churn_rate, const SyncConfig& cfg,
+                                               std::unique_ptr<net::DelayModel> delays,
+                                               churn::LeavePolicy policy =
+                                                   churn::LeavePolicy::kUniform) {
+    return std::make_unique<ScriptedCluster>(
+        seed, n, churn_rate, policy, std::move(delays),
+        [cfg](sim::ProcessId id, node::Context& ctx, bool initial) {
+          return std::make_unique<SyncRegisterNode>(id, ctx, cfg, initial);
+        });
+  }
+
+  static std::unique_ptr<ScriptedCluster> es(std::uint64_t seed, std::size_t n,
+                                             double churn_rate,
+                                             std::unique_ptr<net::DelayModel> delays,
+                                             churn::LeavePolicy policy =
+                                                 churn::LeavePolicy::kUniform) {
+    EsConfig cfg;
+    cfg.n = n;
+    return std::make_unique<ScriptedCluster>(
+        seed, n, churn_rate, policy, std::move(delays),
+        [cfg](sim::ProcessId id, node::Context& ctx, bool initial) {
+          return std::make_unique<EsRegisterNode>(id, ctx, cfg, initial);
+        });
+  }
+
+  RegisterNode* node(sim::ProcessId id) {
+    return dynamic_cast<RegisterNode*>(system->find(id));
+  }
+
+  std::optional<Value> read_blocking(sim::ProcessId id, sim::Duration max_wait = 10000) {
+    std::optional<Value> result;
+    RegisterNode* reg = node(id);
+    if (reg == nullptr) return std::nullopt;
+    reg->read([&result](Value v) { result = v; });
+    pump_until(sim, [&result] { return result.has_value(); }, sim.now() + max_wait);
+    return result;
+  }
+
+  sim::Simulation sim;
+  net::Network net;
+  std::unique_ptr<churn::System> system;
+};
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace dynreg::bench
