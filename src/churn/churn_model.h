@@ -1,0 +1,31 @@
+// Churn models. The paper's model: at each time unit a fraction c of the n
+// processes joins and the same fraction leaves, so the system size is
+// constant while its composition changes continuously.
+#pragma once
+
+namespace dynreg::churn {
+
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+
+  /// Fraction of the (constant) system size that joins — and leaves — per
+  /// time unit.
+  virtual double rate() const = 0;
+};
+
+class NoChurn final : public ChurnModel {
+ public:
+  double rate() const override { return 0.0; }
+};
+
+class ConstantChurn final : public ChurnModel {
+ public:
+  explicit ConstantChurn(double c) : c_(c < 0.0 ? 0.0 : c) {}
+  double rate() const override { return c_; }
+
+ private:
+  double c_;
+};
+
+}  // namespace dynreg::churn

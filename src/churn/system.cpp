@@ -1,0 +1,132 @@
+#include "churn/system.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dynreg::churn {
+
+System::System(sim::Simulation& sim, net::Network& net, SystemConfig config,
+               std::unique_ptr<ChurnModel> churn, NodeFactory factory)
+    : sim_(sim),
+      net_(net),
+      config_(std::move(config)),
+      churn_(std::move(churn)),
+      factory_(std::move(factory)) {}
+
+void System::bootstrap() {
+  for (std::size_t i = 0; i < config_.initial_size; ++i) add_member(/*initial=*/true);
+  if (churn_ && churn_->rate() > 0.0) {
+    sim_.schedule_after(config_.churn_tick, [this] { churn_step(); });
+  }
+}
+
+sim::ProcessId System::spawn() {
+  ++joins_started_;
+  return add_member(/*initial=*/false);
+}
+
+sim::ProcessId System::add_member(bool initial) {
+  const sim::ProcessId id = next_id_++;
+  chronicle_.note_enter(id, sim_.now(), initial);
+
+  Member member;
+  member.ctx = std::make_unique<node::Context>(sim_, net_, id, [this, id] {
+    // Runs when the node's join protocol completes (or immediately, for
+    // bootstrap members). The member map entry may not exist yet when a
+    // constructor notifies, so only chronicle/active bookkeeping lives here.
+    const auto rec = chronicle_.records().find(id);
+    const bool initial_member = rec != chronicle_.records().end() && rec->second.initial;
+    chronicle_.note_activated(id, sim_.now());
+    active_.emplace(id, sim_.now());
+    const auto it = members_.find(id);
+    if (it != members_.end()) it->second.active = true;
+    if (!initial_member) {
+      ++joins_completed_;
+      join_latency_total_ += sim_.now() - (rec != chronicle_.records().end()
+                                               ? rec->second.entered
+                                               : sim_.now());
+    }
+  });
+  member.node = factory_(id, *member.ctx, initial);
+
+  auto [it, inserted] = members_.emplace(id, std::move(member));
+  if (active_.count(id) != 0) it->second.active = true;  // ctor notified already
+  node::Node* raw = it->second.node.get();
+  net_.attach(id, [raw](sim::ProcessId from, const net::Payload& payload) {
+    raw->on_message(from, payload);
+  });
+  return id;
+}
+
+void System::leave(sim::ProcessId id) {
+  const auto it = members_.find(id);
+  if (it == members_.end()) return;
+  if (!it->second.active) ++joins_abandoned_;
+  chronicle_.note_left(id, sim_.now());
+  net_.detach(id);
+  it->second.ctx->invalidate();
+  active_.erase(id);
+  members_.erase(it);
+}
+
+node::Node* System::find(sim::ProcessId id) {
+  const auto it = members_.find(id);
+  return it == members_.end() ? nullptr : it->second.node.get();
+}
+
+std::vector<sim::ProcessId> System::active_ids() const {
+  std::vector<sim::ProcessId> ids;
+  ids.reserve(active_.size());
+  for (const auto& [id, at] : active_) ids.push_back(id);
+  return ids;
+}
+
+void System::churn_step() {
+  // The paper's model: c * n processes join and c * n leave per time unit,
+  // with n constant. Fractional amounts accumulate across ticks.
+  churn_credit_ += churn_->rate() * static_cast<double>(config_.initial_size) *
+                   static_cast<double>(config_.churn_tick);
+  while (churn_credit_ >= 1.0) {
+    churn_credit_ -= 1.0;
+    spawn();
+    const sim::ProcessId victim = pick_victim();
+    if (members_.count(victim) != 0) leave(victim);
+  }
+  sim_.schedule_after(config_.churn_tick, [this] { churn_step(); });
+}
+
+sim::ProcessId System::pick_victim() {
+  auto exempt = [this](sim::ProcessId id) {
+    return std::find(config_.exempt.begin(), config_.exempt.end(), id) !=
+           config_.exempt.end();
+  };
+
+  if (config_.leave_policy == LeavePolicy::kOldestActiveFirst) {
+    // Adversarial: remove the member that has been active longest — the one
+    // most likely to hold the register value (Lemma 2's worst case).
+    sim::ProcessId best = 0;
+    bool found = false;
+    sim::Time best_at = 0;
+    for (const auto& [id, at] : active_) {
+      if (exempt(id)) continue;
+      if (!found || at < best_at) {
+        best = id;
+        best_at = at;
+        found = true;
+      }
+    }
+    if (found) return best;
+    // No active candidates: fall through to a uniform pick among everyone.
+  }
+
+  std::vector<sim::ProcessId> candidates;
+  candidates.reserve(members_.size());
+  for (const auto& [id, m] : members_) {
+    if (!exempt(id)) candidates.push_back(id);
+  }
+  if (candidates.empty()) return next_id_;  // nobody eligible; no-op leave
+  const std::uint64_t idx = sim_.rng().uniform_int(0, candidates.size() - 1);
+  return candidates[static_cast<std::size_t>(idx)];
+}
+
+}  // namespace dynreg::churn

@@ -1,0 +1,105 @@
+// The dynamic system: hosts protocol nodes, orchestrates joins and leaves
+// according to a churn model, and keeps the ground-truth chronicle.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "churn/chronicle.h"
+#include "churn/churn_model.h"
+#include "net/network.h"
+#include "node/context.h"
+#include "node/node.h"
+#include "sim/simulation.h"
+
+namespace dynreg::churn {
+
+/// Which member departs when the churn model calls for a leave.
+enum class LeavePolicy {
+  kUniform,            // uniform over non-exempt members
+  kOldestActiveFirst,  // adversarial: kill the longest-active (most informed)
+};
+
+struct SystemConfig {
+  std::size_t initial_size = 0;
+  LeavePolicy leave_policy = LeavePolicy::kUniform;
+  /// Processes never selected for departure (e.g. the paper's writer, which
+  /// stays in the system).
+  std::vector<sim::ProcessId> exempt;
+  /// Granularity of churn arithmetic, in ticks.
+  sim::Duration churn_tick = 1;
+};
+
+class System {
+ public:
+  /// Builds the protocol node for a process. `initial` distinguishes the
+  /// bootstrap members (already active, holding the initial value) from
+  /// joiners (which must run the join protocol).
+  using NodeFactory = std::function<std::unique_ptr<node::Node>(
+      sim::ProcessId id, node::Context& ctx, bool initial)>;
+
+  System(sim::Simulation& sim, net::Network& net, SystemConfig config,
+         std::unique_ptr<ChurnModel> churn, NodeFactory factory);
+
+  /// Creates the initial members and starts the churn schedule. Call once,
+  /// before running the simulation.
+  void bootstrap();
+
+  /// Adds one joining process now; returns its id.
+  sim::ProcessId spawn();
+
+  /// Removes a member now (in-flight messages to it will be dropped).
+  void leave(sim::ProcessId id);
+
+  /// The member's node, or nullptr if it is not (any longer) in the system.
+  node::Node* find(sim::ProcessId id);
+
+  const Chronicle& chronicle() const { return chronicle_; }
+
+  /// Ids of members whose join has completed, ascending.
+  std::vector<sim::ProcessId> active_ids() const;
+
+  std::size_t member_count() const { return members_.size(); }
+  std::size_t active_count() const { return active_.size(); }
+
+  // Join bookkeeping (joiners only; bootstrap members are not counted).
+  std::uint64_t joins_started() const { return joins_started_; }
+  std::uint64_t joins_completed() const { return joins_completed_; }
+  /// Joins that ended because the joiner was churned out before activating.
+  std::uint64_t joins_abandoned() const { return joins_abandoned_; }
+  /// Sum of (activation - enter) over completed joins.
+  std::uint64_t join_latency_total() const { return join_latency_total_; }
+
+ private:
+  struct Member {
+    std::unique_ptr<node::Context> ctx;
+    std::unique_ptr<node::Node> node;
+    bool active = false;
+  };
+
+  sim::ProcessId add_member(bool initial);
+  void churn_step();
+  sim::ProcessId pick_victim();
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  SystemConfig config_;
+  std::unique_ptr<ChurnModel> churn_;
+  NodeFactory factory_;
+
+  std::map<sim::ProcessId, Member> members_;  // ordered: deterministic iteration
+  std::map<sim::ProcessId, sim::Time> active_;  // id -> activation time
+  Chronicle chronicle_;
+  sim::ProcessId next_id_ = 0;
+  double churn_credit_ = 0.0;
+
+  std::uint64_t joins_started_ = 0;
+  std::uint64_t joins_completed_ = 0;
+  std::uint64_t joins_abandoned_ = 0;
+  std::uint64_t join_latency_total_ = 0;
+};
+
+}  // namespace dynreg::churn

@@ -1,0 +1,37 @@
+#include "consistency/history.h"
+
+namespace dynreg::consistency {
+
+History::History(Value initial) {
+  WriteOp w0;
+  w0.begin = 0;
+  w0.end = 0;
+  w0.value = initial;
+  writes_.push_back(w0);
+}
+
+OpId History::begin_write(sim::ProcessId writer, sim::Time at, Value v) {
+  WriteOp w;
+  w.writer = writer;
+  w.begin = at;
+  w.value = v;
+  writes_.push_back(w);
+  return writes_.size() - 1;
+}
+
+void History::complete_write(OpId id, sim::Time at) { writes_[id].end = at; }
+
+OpId History::begin_read(sim::ProcessId reader, sim::Time at) {
+  ReadOp r;
+  r.reader = reader;
+  r.begin = at;
+  reads_.push_back(r);
+  return reads_.size() - 1;
+}
+
+void History::complete_read(OpId id, sim::Time at, Value v) {
+  reads_[id].end = at;
+  reads_[id].value = v;
+}
+
+}  // namespace dynreg::consistency

@@ -1,0 +1,52 @@
+// Operation history: the ground-truth log of read/write invocations and
+// responses, recorded by the experiment driver (never by protocol nodes).
+// The checkers run over it post-hoc.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "dynreg/types.h"
+#include "sim/simulation.h"
+
+namespace dynreg::consistency {
+
+using OpId = std::size_t;
+
+class History {
+ public:
+  struct WriteOp {
+    sim::ProcessId writer = 0;
+    sim::Time begin = 0;
+    std::optional<sim::Time> end;  // unset: never completed
+    Value value = kBottom;
+  };
+  struct ReadOp {
+    sim::ProcessId reader = 0;
+    sim::Time begin = 0;
+    std::optional<sim::Time> end;  // unset: never completed
+    Value value = kBottom;
+  };
+
+  /// The register's initial value is modeled as a pseudo-write (index 0)
+  /// that began and completed at time 0 before everything else.
+  explicit History(Value initial);
+
+  OpId begin_write(sim::ProcessId writer, sim::Time at, Value v);
+  void complete_write(OpId id, sim::Time at);
+
+  OpId begin_read(sim::ProcessId reader, sim::Time at);
+  void complete_read(OpId id, sim::Time at, Value v);
+
+  /// All writes; writes()[0] is the initial pseudo-write.
+  const std::vector<WriteOp>& writes() const { return writes_; }
+  const std::vector<ReadOp>& reads() const { return reads_; }
+  Value initial_value() const { return writes_[0].value; }
+
+ private:
+  std::vector<WriteOp> writes_;
+  std::vector<ReadOp> reads_;
+};
+
+}  // namespace dynreg::consistency

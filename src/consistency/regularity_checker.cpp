@@ -1,0 +1,125 @@
+#include "consistency/regularity_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dynreg::consistency {
+
+RegularityReport RegularityChecker::check(const History& history) const {
+  RegularityReport report;
+  const auto& writes = history.writes();
+  const auto& reads = history.reads();
+
+  // Concurrent-write pairs (real writes only; incomplete writes extend to
+  // infinity).
+  for (std::size_t i = 1; i < writes.size(); ++i) {
+    for (std::size_t j = i + 1; j < writes.size(); ++j) {
+      const auto& a = writes[i];
+      const auto& b = writes[j];
+      const bool disjoint = (a.end && *a.end < b.begin) || (b.end && *b.end < a.begin);
+      if (!disjoint) ++report.concurrent_write_pairs;
+    }
+  }
+
+  for (std::size_t ri = 0; ri < reads.size(); ++ri) {
+    const auto& r = reads[ri];
+    if (!r.end) continue;  // the predicate constrains completed reads only
+    ++report.reads_checked;
+
+    // B* = the latest begin among writes completed strictly before the read
+    // began. A completed write is superseded iff some such write began
+    // strictly after it ended; equivalently iff its end < B*. Boundary ties
+    // (a write completing exactly when the read begins) count as concurrent,
+    // so same-tick event ordering inside the simulator can never manufacture
+    // a violation.
+    sim::Time latest_begin = 0;
+    for (const auto& w : writes) {
+      if (w.end && *w.end < r.begin) latest_begin = std::max(latest_begin, w.begin);
+    }
+
+    std::set<Value> legal;
+    for (const auto& w : writes) {
+      const bool completed_before = w.end && *w.end < r.begin;
+      const bool concurrent = !completed_before && w.begin <= *r.end;
+      if (concurrent) {
+        legal.insert(w.value);
+      } else if (completed_before && *w.end >= latest_begin) {
+        legal.insert(w.value);
+      }
+    }
+
+    if (legal.count(r.value) == 0) {
+      Violation v;
+      v.read = ri;
+      v.returned = r.value;
+      v.detail = r.value == kBottom ? "read returned bottom" : "stale read";
+      report.violations.push_back(v);
+    }
+  }
+  return report;
+}
+
+InversionReport AtomicityChecker::check(const History& history) const {
+  InversionReport report;
+  const auto& writes = history.writes();
+  const auto& reads = history.reads();
+
+  // Map each returned value to the write that produced it. The workload
+  // driver issues globally unique values, so the mapping is unambiguous;
+  // reads of unknown values (e.g. bottom) are excluded from the analysis.
+  std::map<Value, std::size_t> write_index;
+  for (std::size_t wi = 0; wi < writes.size(); ++wi) {
+    write_index.emplace(writes[wi].value, wi);
+  }
+
+  struct Entry {
+    sim::Time begin = 0;
+    sim::Time end = 0;
+    std::size_t widx = 0;
+  };
+  std::vector<Entry> done;
+  for (const auto& r : reads) {
+    if (!r.end) continue;
+    const auto it = write_index.find(r.value);
+    if (it == write_index.end()) continue;
+    done.push_back(Entry{r.begin, *r.end, it->second});
+  }
+  report.reads_checked = done.size();
+
+  // A read is inverted if some read that finished strictly before it began
+  // returned a strictly newer write — "newer" in the completed-before
+  // partial order (w precedes w' iff w completed before w' began), which is
+  // well defined for concurrent multi-writer histories where insertion
+  // order is not recency. Sweep reads by begin time while keeping a running
+  // prefix-max of the returned writes' begin times ordered by read end.
+  std::vector<std::size_t> by_end(done.size());
+  for (std::size_t i = 0; i < done.size(); ++i) by_end[i] = i;
+  std::sort(by_end.begin(), by_end.end(), [&done](std::size_t a, std::size_t b) {
+    return done[a].end < done[b].end;
+  });
+  std::vector<std::size_t> by_begin(done.size());
+  for (std::size_t i = 0; i < done.size(); ++i) by_begin[i] = i;
+  std::sort(by_begin.begin(), by_begin.end(), [&done](std::size_t a, std::size_t b) {
+    return done[a].begin < done[b].begin;
+  });
+
+  std::size_t cursor = 0;
+  sim::Time max_prev_write_begin = 0;
+  bool any_seen = false;
+  for (const std::size_t i : by_begin) {
+    while (cursor < by_end.size() && done[by_end[cursor]].end < done[i].begin) {
+      max_prev_write_begin =
+          std::max(max_prev_write_begin, writes[done[by_end[cursor]].widx].begin);
+      any_seen = true;
+      ++cursor;
+    }
+    const auto& w = writes[done[i].widx];
+    // Inverted iff this read's write completed before an earlier-returned
+    // write even began. Incomplete writes precede nothing.
+    if (any_seen && w.end && *w.end < max_prev_write_begin) ++report.inversion_count;
+  }
+  return report;
+}
+
+}  // namespace dynreg::consistency

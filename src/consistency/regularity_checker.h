@@ -1,0 +1,61 @@
+// Consistency checkers.
+//
+// RegularityChecker verifies the (generalized, concurrent-write-ready)
+// regular-register predicate: every completed read must return either the
+// value of a write concurrent with it, or the value of a completed write not
+// superseded by another write that completed before the read began. A "stale
+// read" — a value strictly older than the latest completed write — is the
+// violation Theorem 1 forbids below the churn threshold.
+//
+// AtomicityChecker counts new/old inversions: a read that returns an older
+// value than a read that finished strictly before it started. Regular
+// registers permit these (Section 1's figure); atomic ones do not.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "consistency/history.h"
+#include "dynreg/types.h"
+
+namespace dynreg::consistency {
+
+struct Violation {
+  OpId read = 0;
+  Value returned = kBottom;
+  std::string detail;
+};
+
+struct RegularityReport {
+  std::size_t reads_checked = 0;
+  /// Pairs of (real) writes whose intervals overlap — the generalized
+  /// predicate's concurrency measure, reported by the multi-writer bench.
+  std::size_t concurrent_write_pairs = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  double violation_rate() const {
+    return reads_checked == 0
+               ? 0.0
+               : static_cast<double>(violations.size()) /
+                     static_cast<double>(reads_checked);
+  }
+};
+
+class RegularityChecker {
+ public:
+  RegularityReport check(const History& history) const;
+};
+
+struct InversionReport {
+  std::size_t reads_checked = 0;
+  std::size_t inversion_count = 0;
+};
+
+class AtomicityChecker {
+ public:
+  InversionReport check(const History& history) const;
+};
+
+}  // namespace dynreg::consistency

@@ -1,0 +1,73 @@
+// Static-membership ABD baseline (Attiya, Bar-Noy, Dolev): the motivating
+// contrast of Section 1. The replica set is fixed at the initial n processes;
+// joiners act as clients only. Under churn the replica set drains, and once
+// fewer than a majority remain every quorum operation blocks forever.
+//
+// Reads perform the full two-phase protocol (query + write-back), so the
+// register is atomic — zero new/old inversions, by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "dynreg/register_node.h"
+#include "dynreg/types.h"
+#include "node/context.h"
+
+namespace dynreg {
+
+struct AbdConfig {
+  /// Size of the fixed replica set (the initial membership).
+  std::size_t n = 10;
+  /// Value held by the replicas at the start.
+  Value initial_value = 0;
+};
+
+class AbdRegisterNode final : public RegisterNode {
+ public:
+  AbdRegisterNode(sim::ProcessId id, node::Context& ctx, AbdConfig config, bool initial);
+
+  void on_message(sim::ProcessId from, const net::Payload& payload) override;
+  void read(ReadCallback done) override;
+  void write(Value v, WriteCallback done) override;
+  Value local_value() const override { return value_; }
+  bool is_active() const override { return true; }  // no join protocol
+
+ private:
+  struct PendingRead {
+    ReadCallback done;
+    std::set<sim::ProcessId> repliers;
+    Timestamp best_ts;
+    Value best_value = kBottom;
+    bool has_best = false;
+    std::set<sim::ProcessId> wb_ackers;
+    bool in_writeback = false;
+  };
+  struct PendingWrite {
+    WriteCallback done;
+    std::set<sim::ProcessId> ackers;
+  };
+
+  std::size_t majority() const { return config_.n / 2 + 1; }
+  void apply(const Timestamp& ts, Value v);
+  void start_writeback(std::uint64_t rid);
+  void maybe_finish_read(std::uint64_t rid);
+  void maybe_finish_write(std::uint64_t wid);
+
+  node::Context& ctx_;
+  AbdConfig config_;
+  bool replica_;
+
+  Value value_ = kBottom;
+  Timestamp ts_;
+
+  std::uint64_t next_rid_ = 0;
+  std::uint64_t next_wid_ = 0;
+  std::uint64_t sn_ = 0;
+
+  std::map<std::uint64_t, PendingRead> reads_;
+  std::map<std::uint64_t, PendingWrite> writes_;
+};
+
+}  // namespace dynreg

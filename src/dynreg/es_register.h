@@ -1,0 +1,94 @@
+// The paper's eventually synchronous protocol (Section 5): a regular
+// register that never relies on timing for safety. Reads, writes, and joins
+// gather majority quorums (of the constant system size n) by broadcasting
+// and re-broadcasting until enough distinct processes answer; eventual
+// synchrony only guarantees the quorums eventually form (Theorems 3-4).
+//
+// The churn constraint is c < 1/(3*delta*n): the active-majority assumption
+// |A(t)| > n/2 must hold so quorums of active processes exist.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "dynreg/register_node.h"
+#include "dynreg/types.h"
+#include "node/context.h"
+
+namespace dynreg {
+
+struct EsConfig {
+  /// The constant system size; quorums are majorities of n.
+  std::size_t n = 10;
+  /// Re-broadcast cadence for unfinished operations. Retransmission is what
+  /// lets an operation pick up repliers that joined after it started.
+  sim::Duration retransmit_interval = 10;
+  /// Atomicity ablation: completed reads write back the value they return
+  /// (an extra quorum round trip), upgrading regular to atomic.
+  bool atomic_reads = false;
+  /// Value held by the bootstrap members.
+  Value initial_value = 0;
+};
+
+class EsRegisterNode final : public RegisterNode {
+ public:
+  EsRegisterNode(sim::ProcessId id, node::Context& ctx, EsConfig config, bool initial);
+
+  void on_message(sim::ProcessId from, const net::Payload& payload) override;
+  void read(ReadCallback done) override;
+  void write(Value v, WriteCallback done) override;
+  Value local_value() const override { return value_; }
+  bool is_active() const override { return active_; }
+
+ private:
+  struct PendingRead {
+    ReadCallback done;
+    std::set<sim::ProcessId> repliers;
+    Timestamp best_ts;
+    Value best_value = kBottom;
+    bool has_value = false;
+    bool in_writeback = false;
+  };
+  struct PendingWrite {
+    WriteCallback done;
+    Timestamp ts;
+    Value value = kBottom;
+    std::set<sim::ProcessId> ackers;
+    bool is_read_writeback = false;
+    std::uint64_t rid = 0;  // owning read, when is_read_writeback
+  };
+
+  std::size_t majority() const { return config_.n / 2 + 1; }
+  void apply(const Timestamp& ts, Value v);
+  void start_join();
+  void retransmit_join();
+  void retransmit_read(std::uint64_t rid);
+  void retransmit_write(std::uint64_t wid);
+  void finish_read(std::uint64_t rid);
+  void start_writeback(std::uint64_t rid);
+  void maybe_finish_write(std::uint64_t wid);
+
+  node::Context& ctx_;
+  EsConfig config_;
+
+  Value value_ = kBottom;
+  Timestamp ts_;
+  bool has_value_ = false;
+  bool active_ = false;
+
+  std::uint64_t next_rid_ = 0;
+  std::uint64_t next_wid_ = 0;
+  std::uint64_t join_id_ = 0;
+  std::uint64_t max_seen_sn_ = 0;
+
+  std::map<std::uint64_t, PendingRead> reads_;
+  std::map<std::uint64_t, PendingWrite> writes_;
+  std::set<sim::ProcessId> join_repliers_;
+  bool join_pending_ = false;
+  Timestamp join_best_ts_;
+  Value join_best_value_ = kBottom;
+  bool join_has_value_ = false;
+};
+
+}  // namespace dynreg

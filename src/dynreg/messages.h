@@ -1,0 +1,134 @@
+// Wire messages of the three protocols. Type tags are part of the contract:
+// adversarial delay models and the per-type traffic metrics match on them.
+#pragma once
+
+#include <cstdint>
+
+#include "dynreg/types.h"
+#include "net/payload.h"
+
+namespace dynreg::msg {
+
+// --- synchronous protocol (Section 3) --------------------------------------
+
+struct SyncWrite final : net::Payload {
+  SyncWrite(Timestamp t, Value v) : ts(t), value(v) {}
+  std::string_view type_name() const override { return "sync.write"; }
+  Timestamp ts;
+  Value value;
+};
+
+struct SyncInquiry final : net::Payload {
+  std::string_view type_name() const override { return "sync.inquiry"; }
+};
+
+struct SyncReply final : net::Payload {
+  SyncReply(Timestamp t, Value v, bool hv) : ts(t), value(v), has_value(hv) {}
+  std::string_view type_name() const override { return "sync.reply"; }
+  Timestamp ts;
+  Value value;
+  bool has_value;
+};
+
+/// Anti-entropy rebroadcast; semantically a SyncWrite but tagged separately
+/// so traffic accounting does not mix it into write cost.
+struct SyncRefresh final : net::Payload {
+  SyncRefresh(Timestamp t, Value v) : ts(t), value(v) {}
+  std::string_view type_name() const override { return "sync.refresh"; }
+  Timestamp ts;
+  Value value;
+};
+
+// --- eventually synchronous protocol (Section 5) ---------------------------
+
+struct EsRead final : net::Payload {
+  explicit EsRead(std::uint64_t r) : rid(r) {}
+  std::string_view type_name() const override { return "es.read"; }
+  std::uint64_t rid;
+};
+
+struct EsReply final : net::Payload {
+  EsReply(std::uint64_t r, Timestamp t, Value v, bool hv)
+      : rid(r), ts(t), value(v), has_value(hv) {}
+  std::string_view type_name() const override { return "es.reply"; }
+  std::uint64_t rid;
+  Timestamp ts;
+  Value value;
+  bool has_value;
+};
+
+struct EsWrite final : net::Payload {
+  EsWrite(std::uint64_t w, Timestamp t, Value v) : wid(w), ts(t), value(v) {}
+  std::string_view type_name() const override { return "es.write"; }
+  std::uint64_t wid;
+  Timestamp ts;
+  Value value;
+};
+
+struct EsAck final : net::Payload {
+  explicit EsAck(std::uint64_t w) : wid(w) {}
+  std::string_view type_name() const override { return "es.ack"; }
+  std::uint64_t wid;
+};
+
+struct EsJoin final : net::Payload {
+  explicit EsJoin(std::uint64_t j) : jid(j) {}
+  std::string_view type_name() const override { return "es.join"; }
+  std::uint64_t jid;
+};
+
+struct EsJoinReply final : net::Payload {
+  EsJoinReply(std::uint64_t j, Timestamp t, Value v, bool hv)
+      : jid(j), ts(t), value(v), has_value(hv) {}
+  std::string_view type_name() const override { return "es.join_reply"; }
+  std::uint64_t jid;
+  Timestamp ts;
+  Value value;
+  bool has_value;
+};
+
+// --- static ABD baseline ----------------------------------------------------
+
+struct AbdReadQuery final : net::Payload {
+  explicit AbdReadQuery(std::uint64_t r) : rid(r) {}
+  std::string_view type_name() const override { return "abd.read_query"; }
+  std::uint64_t rid;
+};
+
+struct AbdReadReply final : net::Payload {
+  AbdReadReply(std::uint64_t r, Timestamp t, Value v) : rid(r), ts(t), value(v) {}
+  std::string_view type_name() const override { return "abd.read_reply"; }
+  std::uint64_t rid;
+  Timestamp ts;
+  Value value;
+};
+
+struct AbdWriteback final : net::Payload {
+  AbdWriteback(std::uint64_t r, Timestamp t, Value v) : rid(r), ts(t), value(v) {}
+  std::string_view type_name() const override { return "abd.writeback"; }
+  std::uint64_t rid;
+  Timestamp ts;
+  Value value;
+};
+
+struct AbdWritebackAck final : net::Payload {
+  explicit AbdWritebackAck(std::uint64_t r) : rid(r) {}
+  std::string_view type_name() const override { return "abd.writeback_ack"; }
+  std::uint64_t rid;
+};
+
+struct AbdUpdate final : net::Payload {
+  AbdUpdate(std::uint64_t w, Timestamp t, Value v) : wid(w), ts(t), value(v) {}
+  std::string_view type_name() const override { return "abd.update"; }
+  std::uint64_t wid;
+  Timestamp ts;
+  Value value;
+};
+
+struct AbdUpdateAck final : net::Payload {
+  explicit AbdUpdateAck(std::uint64_t w) : wid(w) {}
+  std::string_view type_name() const override { return "abd.update_ack"; }
+  std::uint64_t wid;
+};
+
+}  // namespace dynreg::msg

@@ -1,0 +1,32 @@
+// Common interface of all register protocol implementations.
+#pragma once
+
+#include <functional>
+
+#include "dynreg/types.h"
+#include "node/node.h"
+
+namespace dynreg {
+
+class RegisterNode : public node::Node {
+ public:
+  using ReadCallback = std::function<void(Value)>;
+  using WriteCallback = std::function<void()>;
+
+  using node::Node::Node;
+
+  /// Starts a read; the callback fires (once) when the operation returns.
+  /// Operations that never terminate (e.g. a starved quorum) never fire it.
+  virtual void read(ReadCallback done) = 0;
+
+  /// Starts a write of `v`; the callback fires when the write completes.
+  virtual void write(Value v, WriteCallback done) = 0;
+
+  /// The process's current local copy (kBottom before a join adopts one).
+  virtual Value local_value() const = 0;
+
+  /// Whether this process's join has completed.
+  virtual bool is_active() const = 0;
+};
+
+}  // namespace dynreg

@@ -1,0 +1,108 @@
+#include "dynreg/sync_register.h"
+
+#include <utility>
+
+#include "dynreg/messages.h"
+
+namespace dynreg {
+
+SyncRegisterNode::SyncRegisterNode(sim::ProcessId id, node::Context& ctx,
+                                   SyncConfig config, bool initial)
+    : RegisterNode(id), ctx_(ctx), config_(std::move(config)) {
+  if (initial) {
+    value_ = config_.initial_value;
+    ts_ = Timestamp{0, 0};
+    has_value_ = true;
+    active_ = true;
+    ctx_.notify_active();
+    schedule_refresh();
+  } else {
+    joining_ = true;
+    if (config_.wait_before_inquiry) {
+      // The initial delta wait guarantees any WRITE broadcast concurrent
+      // with the join has landed at every active process before their
+      // replies are generated (Figure 3b).
+      ctx_.schedule_after(config_.delta, [this] { start_inquiry(); });
+    } else {
+      start_inquiry();
+    }
+  }
+}
+
+void SyncRegisterNode::start_inquiry() {
+  ctx_.broadcast(net::make_payload<msg::SyncInquiry>());
+  // A reply takes at most delta (inquiry) + delta (reply) to round-trip;
+  // footnote 4 tightens the return leg to a known delta'.
+  const sim::Duration window =
+      config_.delta + (config_.delta_pp ? *config_.delta_pp : config_.delta);
+  ctx_.schedule_after(window, [this] { finish_join(); });
+}
+
+void SyncRegisterNode::finish_join() {
+  joining_ = false;
+  active_ = true;
+  ctx_.notify_active();
+  // Answer inquiries that arrived while we were still joining.
+  for (const sim::ProcessId j : pending_inquiries_) {
+    ctx_.send(j, net::make_payload<msg::SyncReply>(ts_, value_, has_value_));
+  }
+  pending_inquiries_.clear();
+  schedule_refresh();
+}
+
+void SyncRegisterNode::apply(const Timestamp& ts, Value v) {
+  if (!has_value_ || ts_ < ts) {
+    ts_ = ts;
+    value_ = v;
+    has_value_ = true;
+  }
+}
+
+void SyncRegisterNode::schedule_refresh() {
+  if (!config_.refresh_interval) return;
+  ctx_.schedule_after(*config_.refresh_interval, [this] {
+    if (active_ && has_value_) {
+      ctx_.broadcast(net::make_payload<msg::SyncRefresh>(ts_, value_));
+    }
+    schedule_refresh();
+  });
+}
+
+void SyncRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload) {
+  const std::string_view type = payload.type_name();
+  if (type == "sync.write") {
+    const auto& m = static_cast<const msg::SyncWrite&>(payload);
+    apply(m.ts, m.value);
+  } else if (type == "sync.refresh") {
+    const auto& m = static_cast<const msg::SyncRefresh&>(payload);
+    apply(m.ts, m.value);
+  } else if (type == "sync.reply") {
+    // Replies feed the join phase only; one arriving after the collection
+    // window closed is discarded (this is exactly what makes the no-wait
+    // variant of Figure 3a unsafe).
+    const auto& m = static_cast<const msg::SyncReply&>(payload);
+    if (joining_ && m.has_value) apply(m.ts, m.value);
+  } else if (type == "sync.inquiry") {
+    if (active_) {
+      ctx_.send(from, net::make_payload<msg::SyncReply>(ts_, value_, has_value_));
+    } else {
+      pending_inquiries_.push_back(from);
+    }
+  }
+}
+
+void SyncRegisterNode::read(ReadCallback done) {
+  // Reads are local and instantaneous — the "fast reads" design point.
+  done(value_);
+}
+
+void SyncRegisterNode::write(Value v, WriteCallback done) {
+  Timestamp ts{ts_.sn + 1, id()};
+  apply(ts, v);
+  ctx_.broadcast(net::make_payload<msg::SyncWrite>(ts, v));
+  // In the synchronous model every copy lands within delta; the write
+  // returns exactly then (Section 3.3).
+  ctx_.schedule_after(config_.delta, [done = std::move(done)] { done(); });
+}
+
+}  // namespace dynreg

@@ -1,0 +1,246 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "consistency/history.h"
+#include "dynreg/abd_register.h"
+#include "dynreg/es_register.h"
+#include "dynreg/register_node.h"
+#include "dynreg/sync_register.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+
+namespace dynreg::harness {
+
+namespace {
+
+constexpr Value kInitialValue = 0;
+
+std::unique_ptr<net::DelayModel> build_delays(const ExperimentConfig& cfg) {
+  if (cfg.timing == Timing::kEventuallySynchronous) {
+    return std::make_unique<net::EventuallySynchronousDelay>(cfg.gst, cfg.pre_gst_max,
+                                                             cfg.delta);
+  }
+  return std::make_unique<net::SynchronousDelay>(cfg.delta);
+}
+
+churn::System::NodeFactory build_factory(const ExperimentConfig& cfg) {
+  switch (cfg.protocol) {
+    case Protocol::kSync:
+    case Protocol::kSyncNoWait: {
+      SyncConfig sc;
+      sc.delta = cfg.delta;
+      sc.wait_before_inquiry = cfg.protocol != Protocol::kSyncNoWait;
+      sc.delta_pp = cfg.sync_delta_pp;
+      sc.refresh_interval = cfg.sync_refresh_interval;
+      sc.initial_value = kInitialValue;
+      return [sc](sim::ProcessId id, node::Context& ctx, bool initial) {
+        return std::make_unique<SyncRegisterNode>(id, ctx, sc, initial);
+      };
+    }
+    case Protocol::kEventuallySync: {
+      EsConfig ec;
+      ec.n = cfg.n;
+      ec.retransmit_interval = std::max<sim::Duration>(1, 2 * cfg.delta);
+      ec.atomic_reads = cfg.es_atomic_reads;
+      ec.initial_value = kInitialValue;
+      return [ec](sim::ProcessId id, node::Context& ctx, bool initial) {
+        return std::make_unique<EsRegisterNode>(id, ctx, ec, initial);
+      };
+    }
+    case Protocol::kAbd: {
+      AbdConfig ac;
+      ac.n = cfg.n;
+      ac.initial_value = kInitialValue;
+      return [ac](sim::ProcessId id, node::Context& ctx, bool initial) {
+        return std::make_unique<AbdRegisterNode>(id, ctx, ac, initial);
+      };
+    }
+  }
+  return nullptr;
+}
+
+/// Designated writers (pinned: exempt from churn, as in the paper where the
+/// writer stays in the system). Empty when writes are disabled — then nobody
+/// is exempt and the register value must survive on its own.
+std::vector<sim::ProcessId> designated_writers(const ExperimentConfig& cfg) {
+  std::vector<sim::ProcessId> writers;
+  if (!cfg.workload.writes_enabled) return writers;
+  const std::size_t k = cfg.workload.writer_mode == workload::WriterMode::kConcurrent
+                            ? std::max<std::size_t>(1, cfg.workload.concurrent_writers)
+                            : 1;
+  for (std::size_t w = 0; w < k && w < cfg.n; ++w) {
+    writers.push_back(static_cast<sim::ProcessId>(w));
+  }
+  return writers;
+}
+
+/// Open-loop traffic generator + operation bookkeeping.
+class Driver {
+ public:
+  Driver(const ExperimentConfig& cfg, sim::Simulation& sim, churn::System& system,
+         consistency::History& history)
+      : cfg_(cfg),
+        sim_(sim),
+        system_(system),
+        history_(history),
+        writers_(designated_writers(cfg)) {}
+
+  void start() {
+    schedule_read_tick();
+    if (!writers_.empty()) schedule_write_tick();
+  }
+
+  // Results, harvested after the run.
+  MetricsReport& report() { return report_; }
+  std::vector<double>& read_latencies() { return read_latencies_; }
+  double write_latency_total() const { return write_latency_total_; }
+
+ private:
+  void schedule_read_tick() {
+    const sim::Time next = sim_.now() + cfg_.workload.read_interval;
+    if (next >= cfg_.duration) return;
+    sim_.schedule_at(next, [this] {
+      issue_read();
+      schedule_read_tick();
+    });
+  }
+
+  void schedule_write_tick() {
+    const sim::Time next = sim_.now() + cfg_.workload.write_interval;
+    if (next >= cfg_.duration) return;
+    sim_.schedule_at(next, [this] {
+      for (const sim::ProcessId w : writers_) issue_write(w);
+      schedule_write_tick();
+    });
+  }
+
+  void issue_read() {
+    const auto actives = system_.active_ids();
+    if (actives.empty()) return;
+    const sim::ProcessId reader =
+        actives[static_cast<std::size_t>(sim_.rng().uniform_int(0, actives.size() - 1))];
+    auto* reg = dynamic_cast<RegisterNode*>(system_.find(reader));
+    if (reg == nullptr) return;
+
+    ++report_.reads_issued;
+    const sim::Time begun = sim_.now();
+    const auto op = history_.begin_read(reader, begun);
+    reg->read([this, op, begun](Value v) {
+      history_.complete_read(op, sim_.now(), v);
+      ++report_.reads_completed;
+      if (v == kBottom) ++report_.reads_of_bottom;
+      read_latencies_.push_back(static_cast<double>(sim_.now() - begun));
+    });
+  }
+
+  void issue_write(sim::ProcessId writer) {
+    // Keep each writer (mostly) sequential: skip the tick while a write is
+    // outstanding, unless it has been stuck for two intervals — then keep
+    // issuing so a blocked system shows up as a collapsing completion rate
+    // rather than a frozen issue count.
+    auto& outstanding = outstanding_writes_[writer];
+    if (!outstanding.empty() &&
+        sim_.now() - outstanding.front() < 2 * cfg_.workload.write_interval) {
+      return;
+    }
+    auto* reg = dynamic_cast<RegisterNode*>(system_.find(writer));
+    if (reg == nullptr) return;
+
+    const Value v = next_value_++;
+    ++report_.writes_issued;
+    const sim::Time begun = sim_.now();
+    outstanding.push_back(begun);
+    const auto op = history_.begin_write(writer, begun, v);
+    reg->write(v, [this, op, begun, writer] {
+      history_.complete_write(op, sim_.now());
+      ++report_.writes_completed;
+      write_latency_total_ += static_cast<double>(sim_.now() - begun);
+      auto& pending = outstanding_writes_[writer];
+      pending.erase(std::find(pending.begin(), pending.end(), begun));
+    });
+  }
+
+  const ExperimentConfig& cfg_;
+  sim::Simulation& sim_;
+  churn::System& system_;
+  consistency::History& history_;
+
+  std::vector<sim::ProcessId> writers_;
+  std::map<sim::ProcessId, std::vector<sim::Time>> outstanding_writes_;
+  Value next_value_ = 1;
+
+  MetricsReport report_;
+  std::vector<double> read_latencies_;
+  double write_latency_total_ = 0.0;
+};
+
+}  // namespace
+
+MetricsReport run_experiment(const ExperimentConfig& cfg) {
+  sim::Simulation sim(cfg.seed);
+  net::Network net(sim, build_delays(cfg));
+  net.set_loss_rate(cfg.loss_rate);
+
+  consistency::History history(kInitialValue);
+
+  churn::SystemConfig sys_cfg;
+  sys_cfg.initial_size = cfg.n;
+  sys_cfg.leave_policy = cfg.leave_policy;
+  sys_cfg.exempt = designated_writers(cfg);
+
+  std::unique_ptr<churn::ChurnModel> churn_model;
+  if (cfg.churn_kind == ChurnKind::kNone || cfg.churn_rate <= 0.0) {
+    churn_model = std::make_unique<churn::NoChurn>();
+  } else {
+    churn_model = std::make_unique<churn::ConstantChurn>(cfg.churn_rate);
+  }
+
+  churn::System system(sim, net, sys_cfg, std::move(churn_model), build_factory(cfg));
+  Driver driver(cfg, sim, system, history);
+
+  system.bootstrap();
+  driver.start();
+  sim.run_until(cfg.duration);
+
+  MetricsReport report = std::move(driver.report());
+  report.joins_started = system.joins_started();
+  report.joins_completed = system.joins_completed();
+  report.joins_abandoned = system.joins_abandoned();
+  report.join_latency_mean =
+      system.joins_completed() == 0
+          ? 0.0
+          : static_cast<double>(system.join_latency_total()) /
+                static_cast<double>(system.joins_completed());
+
+  auto& lat = driver.read_latencies();
+  if (!lat.empty()) {
+    double total = 0.0;
+    for (const double l : lat) total += l;
+    report.read_latency_mean = total / static_cast<double>(lat.size());
+    std::sort(lat.begin(), lat.end());
+    const std::size_t idx =
+        std::min(lat.size() - 1,
+                 static_cast<std::size_t>(0.99 * static_cast<double>(lat.size())));
+    report.read_latency_p99 = lat[idx];
+  }
+  report.write_latency_mean =
+      report.writes_completed == 0
+          ? 0.0
+          : driver.write_latency_total() / static_cast<double>(report.writes_completed);
+
+  const auto& chron = system.chronicle();
+  report.majority_active_always = chron.min_active_at(cfg.duration) * 2 > cfg.n;
+  report.min_active_3delta = static_cast<double>(
+      chron.min_active_through_window(3 * cfg.delta, cfg.duration));
+
+  report.msgs_by_type = net.delivered_by_type();
+  report.regularity = consistency::RegularityChecker{}.check(history);
+  report.atomicity = consistency::AtomicityChecker{}.check(history);
+  return report;
+}
+
+}  // namespace dynreg::harness

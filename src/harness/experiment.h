@@ -1,0 +1,63 @@
+// One-shot experiment runner: deploys a protocol over the churn/network
+// substrate, applies the workload, and returns a MetricsReport. A
+// (config, seed) pair fully determines the result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "churn/system.h"
+#include "harness/metrics.h"
+#include "harness/workload.h"
+#include "sim/simulation.h"
+
+namespace dynreg::harness {
+
+enum class Protocol {
+  kSync,            // Section 3 (synchronous, fast local reads)
+  kSyncNoWait,      // Figure 3a ablation: join inquires without the delta wait
+  kEventuallySync,  // Section 5 (quorum-based)
+  kAbd,             // static-membership baseline
+};
+
+enum class Timing {
+  kSynchronous,            // all delays in [1, delta]
+  kEventuallySynchronous,  // arbitrary before gst, delta-bounded after
+};
+
+enum class ChurnKind { kNone, kConstant };
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::kSync;
+  Timing timing = Timing::kSynchronous;
+
+  std::size_t n = 10;          // constant system size
+  sim::Duration delta = 5;     // network delay bound (post-GST, for ES)
+  sim::Time duration = 1000;   // run horizon, in ticks
+  std::uint64_t seed = 1;
+
+  ChurnKind churn_kind = ChurnKind::kConstant;
+  double churn_rate = 0.0;     // fraction of n joining (and leaving) per tick
+  churn::LeavePolicy leave_policy = churn::LeavePolicy::kUniform;
+
+  sim::Time gst = 0;                // stabilization time (ES timing)
+  sim::Duration pre_gst_max = 100;  // max pre-GST delay (finiteness bound)
+  double loss_rate = 0.0;           // omission-fault rate
+
+  bool es_atomic_reads = false;
+  std::optional<sim::Duration> sync_delta_pp;        // footnote 4 join window
+  std::optional<sim::Duration> sync_refresh_interval;  // anti-entropy extension
+
+  workload::Config workload;
+
+  /// Theorem 1's sufficient churn bound for the synchronous protocol.
+  double sync_churn_threshold() const { return 1.0 / (3.0 * static_cast<double>(delta)); }
+  /// Section 5's churn constraint for the eventually synchronous protocol.
+  double es_churn_threshold() const {
+    return 1.0 / (3.0 * static_cast<double>(delta) * static_cast<double>(n));
+  }
+};
+
+MetricsReport run_experiment(const ExperimentConfig& config);
+
+}  // namespace dynreg::harness

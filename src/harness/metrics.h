@@ -1,0 +1,65 @@
+// Per-run experiment results: operation counts, latency summaries, join and
+// active-set accounting, per-type traffic, and the consistency reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "consistency/regularity_checker.h"
+
+namespace dynreg::harness {
+
+struct MetricsReport {
+  // Operations.
+  std::uint64_t reads_issued = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t reads_of_bottom = 0;
+  std::uint64_t writes_issued = 0;
+  std::uint64_t writes_completed = 0;
+
+  // Joins (non-bootstrap processes only).
+  std::uint64_t joins_started = 0;
+  std::uint64_t joins_completed = 0;
+  /// Joiners churned out before their join could complete.
+  std::uint64_t joins_abandoned = 0;
+
+  // Latencies (ticks; means over completed operations).
+  double read_latency_mean = 0.0;
+  double read_latency_p99 = 0.0;
+  double write_latency_mean = 0.0;
+  double join_latency_mean = 0.0;
+
+  // Ground-truth active-set measurements over the run.
+  bool majority_active_always = true;
+  /// min over t of |A(t, t + 3*delta)| — Lemma 2's quantity.
+  double min_active_3delta = 0.0;
+
+  /// Delivered message copies per wire-type tag.
+  std::map<std::string, std::uint64_t> msgs_by_type;
+
+  consistency::RegularityReport regularity;
+  consistency::InversionReport atomicity;
+
+  double read_completion_rate() const {
+    return reads_issued == 0 ? 1.0
+                             : static_cast<double>(reads_completed) /
+                                   static_cast<double>(reads_issued);
+  }
+  double write_completion_rate() const {
+    return writes_issued == 0 ? 1.0
+                              : static_cast<double>(writes_completed) /
+                                    static_cast<double>(writes_issued);
+  }
+  /// Completion rate excusing joiners that were churned out mid-join (they
+  /// never had a full chance). The raw rate is joins_completed/joins_started.
+  double join_completion_rate() const {
+    const std::uint64_t given_chance =
+        joins_started > joins_abandoned ? joins_started - joins_abandoned : 0;
+    return given_chance == 0 ? 1.0
+                             : static_cast<double>(joins_completed) /
+                                   static_cast<double>(given_chance);
+  }
+};
+
+}  // namespace dynreg::harness

@@ -1,0 +1,25 @@
+#include "harness/sweep.h"
+
+namespace dynreg::harness {
+
+std::vector<SweepPoint> sweep(const ExperimentConfig& base, const std::vector<double>& xs,
+                              const std::function<void(ExperimentConfig&, double)>& configure,
+                              std::size_t seeds) {
+  std::vector<SweepPoint> points;
+  points.reserve(xs.size());
+  for (const double x : xs) {
+    SweepPoint point;
+    point.x = x;
+    point.runs.reserve(seeds);
+    for (std::size_t s = 0; s < seeds; ++s) {
+      ExperimentConfig cfg = base;
+      configure(cfg, x);
+      cfg.seed = base.seed + (s + 1) * 1009;
+      point.runs.push_back(run_experiment(cfg));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace dynreg::harness

@@ -1,0 +1,59 @@
+// Parameter sweeps: run a base experiment at several values of one knob,
+// each over several seeds, and expose per-point aggregates.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+
+namespace dynreg::harness {
+
+/// Mean of fn over a set of runs.
+template <typename Fn>
+double mean_of(const std::vector<MetricsReport>& runs, Fn fn) {
+  if (runs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : runs) total += static_cast<double>(fn(r));
+  return total / static_cast<double>(runs.size());
+}
+
+struct SweepPoint {
+  double x = 0.0;                    // the swept knob's value
+  std::vector<MetricsReport> runs;   // one per seed
+
+  double mean_violation_rate() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.regularity.violation_rate(); });
+  }
+  double mean_read_completion() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.read_completion_rate(); });
+  }
+  double mean_write_completion() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.write_completion_rate(); });
+  }
+  double mean_join_completion() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.join_completion_rate(); });
+  }
+  double mean_read_latency() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.read_latency_mean; });
+  }
+  double mean_write_latency() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.write_latency_mean; });
+  }
+  double mean_join_latency() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.join_latency_mean; });
+  }
+  double mean_min_active_3delta() const {
+    return mean_of(runs, [](const MetricsReport& r) { return r.min_active_3delta; });
+  }
+};
+
+/// Runs `base` once per (x, seed) pair; `configure` applies x to a copy of
+/// the base config before each run. Seeds are derived deterministically from
+/// the base seed.
+std::vector<SweepPoint> sweep(const ExperimentConfig& base, const std::vector<double>& xs,
+                              const std::function<void(ExperimentConfig&, double)>& configure,
+                              std::size_t seeds);
+
+}  // namespace dynreg::harness

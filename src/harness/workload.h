@@ -1,0 +1,27 @@
+// Workload configuration: the open-loop read/write traffic an experiment
+// applies to the deployed register.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/simulation.h"
+
+namespace dynreg::workload {
+
+enum class WriterMode {
+  kSingle,      // the paper's model: one designated writer (process 0)
+  kConcurrent,  // Section 7 extension: several simultaneous writers
+};
+
+struct Config {
+  /// A read is issued from a uniformly random active process every interval.
+  sim::Duration read_interval = 10;
+  /// Writes are issued every interval (by every writer, in concurrent mode).
+  sim::Duration write_interval = 50;
+  bool writes_enabled = true;
+  WriterMode writer_mode = WriterMode::kSingle;
+  /// Number of designated writers in concurrent mode (ids 0..k-1).
+  std::size_t concurrent_writers = 2;
+};
+
+}  // namespace dynreg::workload

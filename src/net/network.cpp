@@ -1,0 +1,48 @@
+#include "net/network.h"
+
+#include <utility>
+#include <vector>
+
+namespace dynreg::net {
+
+void Network::attach(sim::ProcessId id, Handler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void Network::detach(sim::ProcessId id) { handlers_.erase(id); }
+
+void Network::send(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
+  transmit(from, to, std::move(payload));
+}
+
+void Network::broadcast(sim::ProcessId from, PayloadPtr payload) {
+  // Snapshot the recipient set: handlers_ may change while deliveries are in
+  // flight, and a broadcast addresses the membership at send time.
+  std::vector<sim::ProcessId> recipients;
+  recipients.reserve(handlers_.size());
+  for (const auto& [id, handler] : handlers_) {
+    if (id != from) recipients.push_back(id);
+  }
+  for (const sim::ProcessId to : recipients) transmit(from, to, payload);
+}
+
+void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
+  ++stats_.sent;
+  if (loss_rate_ > 0.0 && sim_.rng().bernoulli(loss_rate_)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  const sim::Duration d = delays_->delay(sim_.now(), from, to, *payload, sim_.rng());
+  sim_.schedule_after(d, [this, from, to, payload = std::move(payload)] {
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++stats_.dropped_departed;  // receiver departed while the copy was in flight
+      return;
+    }
+    ++stats_.delivered;
+    ++delivered_by_type_[std::string(payload->type_name())];
+    it->second(from, *payload);
+  });
+}
+
+}  // namespace dynreg::net

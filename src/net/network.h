@@ -1,0 +1,73 @@
+// Point-to-point + broadcast message transport over the simulation clock.
+//
+// Delivery semantics mirror the paper's dynamic-system model:
+//  - a broadcast reaches the processes attached at send time (a process that
+//    joins later does not see earlier broadcasts);
+//  - a message to a process that departed before delivery is dropped — this
+//    is how churn manifests as lost replies;
+//  - the sender does not receive its own broadcast (protocol nodes account
+//    for their local state directly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/delay_model.h"
+#include "net/payload.h"
+#include "sim/simulation.h"
+
+namespace dynreg::net {
+
+class Network {
+ public:
+  using Handler = std::function<void(sim::ProcessId from, const Payload& payload)>;
+
+  Network(sim::Simulation& sim, std::unique_ptr<DelayModel> delays)
+      : sim_(sim), delays_(std::move(delays)) {}
+
+  /// Registers a process. Messages are delivered only to attached processes.
+  void attach(sim::ProcessId id, Handler handler);
+
+  /// Deregisters a process; in-flight messages towards it are dropped at
+  /// their delivery time.
+  void detach(sim::ProcessId id);
+
+  bool attached(sim::ProcessId id) const { return handlers_.count(id) != 0; }
+
+  void send(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload);
+
+  /// Sends one copy to every currently attached process except `from`.
+  void broadcast(sim::ProcessId from, PayloadPtr payload);
+
+  /// Fraction of message copies silently lost (omission faults). Loss is
+  /// decided at send time with the simulation RNG.
+  void set_loss_rate(double rate) { loss_rate_ = rate; }
+
+  struct Stats {
+    std::uint64_t sent = 0;            // copies handed to the delay model
+    std::uint64_t delivered = 0;       // copies that reached a handler
+    std::uint64_t dropped_departed = 0;  // receiver left before delivery
+    std::uint64_t dropped_loss = 0;      // omission faults
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Delivered copies per payload type tag.
+  const std::map<std::string, std::uint64_t>& delivered_by_type() const {
+    return delivered_by_type_;
+  }
+
+ private:
+  void transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload);
+
+  sim::Simulation& sim_;
+  std::unique_ptr<DelayModel> delays_;
+  std::map<sim::ProcessId, Handler> handlers_;  // ordered: deterministic fan-out
+  double loss_rate_ = 0.0;
+  Stats stats_;
+  std::map<std::string, std::uint64_t> delivered_by_type_;
+};
+
+}  // namespace dynreg::net

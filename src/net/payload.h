@@ -1,0 +1,27 @@
+// Message payloads. Payloads are immutable and shared between the deliveries
+// of one broadcast; receivers downcast after checking type_name().
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <utility>
+
+namespace dynreg::net {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Stable wire-type tag, e.g. "sync.write". Delay models and the metrics
+  /// pipeline key on it, so tags are part of the protocol contract.
+  virtual std::string_view type_name() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+template <typename T, typename... Args>
+PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace dynreg::net

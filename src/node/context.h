@@ -1,0 +1,63 @@
+// Per-node capability handle: everything a protocol node may do to the world.
+//
+// A node only ever touches the simulation through its Context. The context
+// guards scheduled callbacks with a liveness token so that a timer set by a
+// node that has since been churned out fires into nothing instead of into
+// freed memory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/network.h"
+#include "net/payload.h"
+#include "sim/simulation.h"
+
+namespace dynreg::node {
+
+class Context {
+ public:
+  Context(sim::Simulation& sim, net::Network& net, sim::ProcessId id,
+          std::function<void()> on_active)
+      : sim_(sim),
+        net_(net),
+        id_(id),
+        on_active_(std::move(on_active)),
+        alive_(std::make_shared<bool>(true)) {}
+
+  sim::Time now() const { return sim_.now(); }
+  sim::ProcessId id() const { return id_; }
+  sim::Rng& rng() { return sim_.rng(); }
+
+  /// Schedules fn after d ticks; silently cancelled if the node leaves first.
+  void schedule_after(sim::Duration d, std::function<void()> fn) {
+    sim_.schedule_after(d, [alive = alive_, fn = std::move(fn)] {
+      if (*alive) fn();
+    });
+  }
+
+  void send(sim::ProcessId to, net::PayloadPtr payload) {
+    net_.send(id_, to, std::move(payload));
+  }
+
+  void broadcast(net::PayloadPtr payload) { net_.broadcast(id_, std::move(payload)); }
+
+  /// Called by the node when its join protocol completes and it becomes an
+  /// active replica (initial nodes call it on construction).
+  void notify_active() {
+    if (on_active_) on_active_();
+  }
+
+  /// System calls this when the node departs; cancels all pending timers.
+  void invalidate() { *alive_ = false; }
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+  sim::ProcessId id_;
+  std::function<void()> on_active_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace dynreg::node

@@ -1,0 +1,22 @@
+// Base class for protocol processes hosted by churn::System.
+#pragma once
+
+#include "net/payload.h"
+#include "sim/simulation.h"
+
+namespace dynreg::node {
+
+class Node {
+ public:
+  explicit Node(sim::ProcessId id) : id_(id) {}
+  virtual ~Node() = default;
+
+  virtual void on_message(sim::ProcessId from, const net::Payload& payload) = 0;
+
+  sim::ProcessId id() const { return id_; }
+
+ private:
+  sim::ProcessId id_;
+};
+
+}  // namespace dynreg::node

@@ -1,0 +1,13 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace dynreg::sim {
+
+void EventQueue::push(Time time, std::function<void()> fn) {
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+Event EventQueue::pop() { return heap_.take(); }
+
+}  // namespace dynreg::sim

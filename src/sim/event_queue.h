@@ -1,0 +1,61 @@
+// Time-ordered event queue with stable FIFO ordering among events scheduled
+// for the same instant. Stability is load-bearing: several benches (e.g. the
+// Figure 3 adversary) rely on "an event scheduled earlier runs first" to pin
+// down races exactly at window boundaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dynreg::sim {
+
+using Time = std::uint64_t;
+using Duration = std::uint64_t;
+using ProcessId = std::uint32_t;
+
+struct Event {
+  Time time = 0;
+  std::uint64_t seq = 0;  // insertion order; breaks same-time ties FIFO
+  std::function<void()> fn;
+};
+
+class EventQueue {
+ public:
+  void push(Time time, std::function<void()> fn);
+
+  /// Removes and returns the earliest event (FIFO among equal times).
+  /// Precondition: !empty().
+  Event pop();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  Time next_time() const { return heap_.top().time; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // priority_queue does not expose a mutable top(), so pop() goes through a
+  // small wrapper that moves the element out.
+  struct Heap : std::priority_queue<Event, std::vector<Event>, Later> {
+    Event take() {
+      std::pop_heap(c.begin(), c.end(), comp);
+      Event e = std::move(c.back());
+      c.pop_back();
+      return e;
+    }
+  };
+
+  Heap heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dynreg::sim

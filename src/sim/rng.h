@@ -1,0 +1,37 @@
+// Seeded deterministic RNG (splitmix64). Self-contained so simulation runs
+// reproduce bit-for-bit across standard libraries and platforms, which
+// std::uniform_*_distribution does not guarantee.
+#pragma once
+
+#include <cstdint>
+
+namespace dynreg::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next() % (hi - lo + 1);
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dynreg::sim

@@ -1,0 +1,39 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dynreg::sim {
+
+void Simulation::schedule_at(Time t, std::function<void()> fn) {
+  queue_.push(std::max(t, now_), std::move(fn));
+}
+
+void Simulation::schedule_after(Duration d, std::function<void()> fn) {
+  queue_.push(now_ + d, std::move(fn));
+}
+
+std::optional<Time> Simulation::next_event_time() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.next_time();
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.pop();
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty() && queue_.next_time() <= t) step();
+  now_ = std::max(now_, t);
+}
+
+}  // namespace dynreg::sim

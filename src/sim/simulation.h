@@ -1,0 +1,46 @@
+// Deterministic discrete-event simulation: a virtual clock, a stable event
+// queue, and a seeded RNG. Every source of randomness in a run draws from the
+// one Rng owned here, so a (seed, config) pair fully determines the run.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace dynreg::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules fn at absolute time t (clamped to now if in the past).
+  void schedule_at(Time t, std::function<void()> fn);
+  void schedule_after(Duration d, std::function<void()> fn);
+
+  /// Time of the next pending event, if any.
+  std::optional<Time> next_event_time() const;
+
+  /// Executes the earliest event, advancing the clock to its time.
+  /// Returns false if the queue was empty.
+  bool step();
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs every event scheduled at or before `t`, then advances the clock
+  /// to exactly `t` (events an executed event schedules within the horizon
+  /// are executed too).
+  void run_until(Time t);
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace dynreg::sim

@@ -1,0 +1,30 @@
+// Minimal fixed-width text table for bench/experiment output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dynreg::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table: header, a dashed rule, then rows, columns padded to
+  /// the widest cell and separated by two spaces.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats v with fixed `precision` decimals (precision 0: no point).
+  static std::string fmt(double v, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dynreg::stats

@@ -1,0 +1,73 @@
+// harness::run_experiment determinism: a (config, seed) pair fully
+// determines the MetricsReport; different seeds diverge.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace dynreg::harness {
+namespace {
+
+ExperimentConfig config_under_test(Protocol protocol) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.n = 15;
+  cfg.delta = 5;
+  cfg.duration = 800;
+  cfg.churn_rate = 0.01;
+  cfg.workload.read_interval = 5;
+  cfg.workload.write_interval = 30;
+  if (protocol == Protocol::kEventuallySync) {
+    cfg.timing = Timing::kEventuallySynchronous;
+    cfg.gst = 0;
+  }
+  return cfg;
+}
+
+void expect_identical(const MetricsReport& a, const MetricsReport& b) {
+  EXPECT_EQ(a.reads_issued, b.reads_issued);
+  EXPECT_EQ(a.reads_completed, b.reads_completed);
+  EXPECT_EQ(a.reads_of_bottom, b.reads_of_bottom);
+  EXPECT_EQ(a.writes_issued, b.writes_issued);
+  EXPECT_EQ(a.writes_completed, b.writes_completed);
+  EXPECT_EQ(a.joins_started, b.joins_started);
+  EXPECT_EQ(a.joins_completed, b.joins_completed);
+  EXPECT_EQ(a.joins_abandoned, b.joins_abandoned);
+  EXPECT_EQ(a.read_latency_mean, b.read_latency_mean);
+  EXPECT_EQ(a.read_latency_p99, b.read_latency_p99);
+  EXPECT_EQ(a.write_latency_mean, b.write_latency_mean);
+  EXPECT_EQ(a.join_latency_mean, b.join_latency_mean);
+  EXPECT_EQ(a.majority_active_always, b.majority_active_always);
+  EXPECT_EQ(a.min_active_3delta, b.min_active_3delta);
+  EXPECT_EQ(a.msgs_by_type, b.msgs_by_type);
+  EXPECT_EQ(a.regularity.reads_checked, b.regularity.reads_checked);
+  EXPECT_EQ(a.regularity.violations.size(), b.regularity.violations.size());
+  EXPECT_EQ(a.atomicity.inversion_count, b.atomicity.inversion_count);
+}
+
+TEST(Determinism, SameSeedSameReportSync) {
+  auto cfg = config_under_test(Protocol::kSync);
+  cfg.seed = 12345;
+  expect_identical(run_experiment(cfg), run_experiment(cfg));
+}
+
+TEST(Determinism, SameSeedSameReportEventuallySync) {
+  auto cfg = config_under_test(Protocol::kEventuallySync);
+  cfg.seed = 999;
+  expect_identical(run_experiment(cfg), run_experiment(cfg));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  auto cfg = config_under_test(Protocol::kSync);
+  cfg.seed = 1;
+  const auto a = run_experiment(cfg);
+  cfg.seed = 2;
+  const auto b = run_experiment(cfg);
+
+  // The traffic pattern (message copies delivered, per type) is seed
+  // dependent through churn membership and random delays; two seeds
+  // producing an identical traffic map would mean the RNG is ignored.
+  EXPECT_NE(a.msgs_by_type, b.msgs_by_type);
+}
+
+}  // namespace
+}  // namespace dynreg::harness

@@ -1,0 +1,93 @@
+// net::Network — delivery, broadcast membership semantics, and the
+// drop-on-departure rule churn depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace dynreg::net {
+namespace {
+
+struct Ping final : Payload {
+  std::string_view type_name() const override { return "test.ping"; }
+};
+
+TEST(Network, DeliversWithModelDelayAndRecordsType) {
+  sim::Simulation sim(1);
+  Network net(sim, std::make_unique<FixedDelay>(4));
+  std::vector<sim::Time> arrivals;
+  net.attach(1, [&](sim::ProcessId from, const Payload& p) {
+    EXPECT_EQ(from, 0u);
+    EXPECT_EQ(p.type_name(), "test.ping");
+    arrivals.push_back(sim.now());
+  });
+  net.send(0, 1, make_payload<Ping>());
+  sim.run();
+
+  EXPECT_EQ(arrivals, (std::vector<sim::Time>{4}));
+  EXPECT_EQ(net.stats().delivered, 1u);
+  EXPECT_EQ(net.delivered_by_type().at("test.ping"), 1u);
+}
+
+TEST(Network, BroadcastReachesEveryoneAttachedExceptSender) {
+  sim::Simulation sim(1);
+  Network net(sim, std::make_unique<FixedDelay>(1));
+  std::map<sim::ProcessId, int> received;
+  for (sim::ProcessId id = 0; id < 4; ++id) {
+    net.attach(id, [&received, id](sim::ProcessId, const Payload&) { ++received[id]; });
+  }
+  net.broadcast(2, make_payload<Ping>());
+  sim.run();
+
+  EXPECT_EQ(received[0], 1);
+  EXPECT_EQ(received[1], 1);
+  EXPECT_EQ(received[2], 0);  // no self-delivery
+  EXPECT_EQ(received[3], 1);
+}
+
+TEST(Network, InFlightMessageToDepartedProcessIsDropped) {
+  sim::Simulation sim(1);
+  Network net(sim, std::make_unique<FixedDelay>(10));
+  int delivered = 0;
+  net.attach(1, [&delivered](sim::ProcessId, const Payload&) { ++delivered; });
+  net.send(0, 1, make_payload<Ping>());
+  sim.run_until(5);
+  net.detach(1);  // leaves while the message is in flight
+  sim.run();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped_departed, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(Network, LateJoinerDoesNotReceiveEarlierBroadcasts) {
+  sim::Simulation sim(1);
+  Network net(sim, std::make_unique<FixedDelay>(10));
+  int delivered = 0;
+  net.attach(0, [](sim::ProcessId, const Payload&) {});
+  net.broadcast(0, make_payload<Ping>());  // nobody else attached yet
+  net.attach(1, [&delivered](sim::ProcessId, const Payload&) { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(Network, LossRateDropsMessages) {
+  sim::Simulation sim(1);
+  Network net(sim, std::make_unique<FixedDelay>(1));
+  int delivered = 0;
+  net.attach(1, [&delivered](sim::ProcessId, const Payload&) { ++delivered; });
+  net.set_loss_rate(1.0);
+  for (int i = 0; i < 10; ++i) net.send(0, 1, make_payload<Ping>());
+  sim.run();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped_loss, 10u);
+}
+
+}  // namespace
+}  // namespace dynreg::net

@@ -1,0 +1,126 @@
+// Consistency checkers — the guards the whole bench suite trusts. Negative
+// tests: a hand-built stale read and a new/old inversion must be flagged; a
+// valid regular history must pass.
+#include <gtest/gtest.h>
+
+#include "consistency/history.h"
+#include "consistency/regularity_checker.h"
+
+namespace dynreg::consistency {
+namespace {
+
+TEST(RegularityChecker, ValidRegularHistoryPasses) {
+  History h(0);
+  // w1: [10, 15] -> 1; w2: [30, 35] -> 2.
+  const auto w1 = h.begin_write(0, 10, 1);
+  h.complete_write(w1, 15);
+  const auto w2 = h.begin_write(0, 30, 2);
+  h.complete_write(w2, 35);
+
+  // Read of the initial value before any write.
+  auto r = h.begin_read(1, 5);
+  h.complete_read(r, 5, 0);
+  // Read concurrent with w1 may return old or new.
+  r = h.begin_read(1, 12);
+  h.complete_read(r, 13, 0);
+  r = h.begin_read(2, 12);
+  h.complete_read(r, 13, 1);
+  // Read strictly after w1 must return 1.
+  r = h.begin_read(1, 20);
+  h.complete_read(r, 21, 1);
+  // Read strictly after w2 must return 2.
+  r = h.begin_read(1, 40);
+  h.complete_read(r, 41, 2);
+
+  const auto report = RegularityChecker{}.check(h);
+  EXPECT_EQ(report.reads_checked, 5u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.violation_rate(), 0.0);
+  EXPECT_EQ(report.concurrent_write_pairs, 0u);
+}
+
+TEST(RegularityChecker, StaleReadIsFlagged) {
+  History h(0);
+  const auto w1 = h.begin_write(0, 10, 1);
+  h.complete_write(w1, 15);
+
+  // Begins at 20, strictly after w1 completed, yet returns the initial 0.
+  const auto r = h.begin_read(1, 20);
+  h.complete_read(r, 21, 0);
+
+  const auto report = RegularityChecker{}.check(h);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].returned, 0);
+  EXPECT_EQ(report.violations[0].detail, "stale read");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(RegularityChecker, ReadOfBottomAfterAWriteIsFlagged) {
+  History h(0);
+  const auto r = h.begin_read(1, 20);
+  h.complete_read(r, 21, kBottom);
+
+  const auto report = RegularityChecker{}.check(h);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].detail, "read returned bottom");
+}
+
+TEST(RegularityChecker, IncompleteAndConcurrentWritesStayLegal) {
+  History h(0);
+  // w1 never completes: its value remains legal, and it supersedes nothing.
+  h.begin_write(0, 10, 1);
+  auto r = h.begin_read(1, 50);
+  h.complete_read(r, 51, 1);
+  r = h.begin_read(1, 50);
+  h.complete_read(r, 51, 0);  // initial value also still legal
+
+  // Two overlapping writes: both values legal after both complete.
+  const auto w2 = h.begin_write(2, 60, 2);
+  const auto w3 = h.begin_write(3, 62, 3);
+  h.complete_write(w2, 70);
+  h.complete_write(w3, 72);
+  r = h.begin_read(1, 80);
+  h.complete_read(r, 81, 2);
+  r = h.begin_read(1, 80);
+  h.complete_read(r, 81, 3);
+
+  const auto report = RegularityChecker{}.check(h);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.concurrent_write_pairs, 3u);  // w1-w2, w1-w3 (w1 open), w2-w3
+}
+
+TEST(AtomicityChecker, NewOldInversionIsCounted) {
+  History h(0);
+  const auto w1 = h.begin_write(0, 10, 1);
+  h.complete_write(w1, 20);
+
+  // r1 (concurrent with w1) returns the new value and finishes; r2 starts
+  // strictly later and returns the old value: a new/old inversion — legal
+  // for a regular register, counted by the atomicity checker.
+  auto r1 = h.begin_read(1, 12);
+  h.complete_read(r1, 13, 1);
+  auto r2 = h.begin_read(2, 15);
+  h.complete_read(r2, 16, 0);
+
+  const auto atom = AtomicityChecker{}.check(h);
+  EXPECT_EQ(atom.reads_checked, 2u);
+  EXPECT_EQ(atom.inversion_count, 1u);
+
+  // The same history is perfectly regular.
+  EXPECT_TRUE(RegularityChecker{}.check(h).ok());
+}
+
+TEST(AtomicityChecker, OrderedReadsShowNoInversion) {
+  History h(0);
+  const auto w1 = h.begin_write(0, 10, 1);
+  h.complete_write(w1, 20);
+  auto r1 = h.begin_read(1, 12);
+  h.complete_read(r1, 13, 0);  // old first
+  auto r2 = h.begin_read(2, 15);
+  h.complete_read(r2, 16, 1);  // then new: fine
+
+  EXPECT_EQ(AtomicityChecker{}.check(h).inversion_count, 0u);
+}
+
+}  // namespace
+}  // namespace dynreg::consistency

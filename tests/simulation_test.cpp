@@ -1,0 +1,63 @@
+// sim::Simulation — clock advancement, run_until semantics, seeded RNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace dynreg::sim {
+namespace {
+
+TEST(Simulation, RunUntilExecutesEventsInHorizonAndAdvancesClock) {
+  Simulation sim(1);
+  std::vector<Time> fired;
+  sim.schedule_at(10, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(20, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(31, [&] { fired.push_back(sim.now()); });
+
+  sim.run_until(30);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(sim.now(), 30u);
+  ASSERT_TRUE(sim.next_event_time().has_value());
+  EXPECT_EQ(*sim.next_event_time(), 31u);
+
+  sim.run_until(40);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sim.now(), 40u);
+  EXPECT_FALSE(sim.next_event_time().has_value());
+}
+
+TEST(Simulation, ScheduledEventsCanScheduleWithinHorizon) {
+  Simulation sim(1);
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    ++chain;
+    if (chain < 5) sim.schedule_after(2, tick);
+  };
+  sim.schedule_at(0, tick);
+  sim.run_until(100);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(Simulation, RngIsDeterministicPerSeed) {
+  Simulation a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.rng().next();
+    EXPECT_EQ(va, b.rng().next());
+    if (va != c.rng().next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Simulation, RngUniformIntStaysInRange) {
+  Simulation sim(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = sim.rng().uniform_int(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+}  // namespace
+}  // namespace dynreg::sim

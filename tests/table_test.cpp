@@ -1,0 +1,48 @@
+// stats::Table — formatting contract used by every bench's output.
+#include <gtest/gtest.h>
+
+#include "stats/table.h"
+
+namespace dynreg::stats {
+namespace {
+
+TEST(Table, FmtFixedPrecision) {
+  EXPECT_EQ(Table::fmt(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(Table::fmt(2.5, 0), "2");    // rounds to even
+  EXPECT_EQ(Table::fmt(3.5, 0), "4");
+  EXPECT_EQ(Table::fmt(12.0, 2), "12.00");
+  EXPECT_EQ(Table::fmt(0.0, 1), "0.0");
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+  Table t({"a", "long header"});
+  t.add_row({"wide cell value", "x"});
+  t.add_row({"y", "z"});
+  const std::string out = t.to_string();
+
+  // header line: "a" padded to the widest cell in its column + 2 spaces.
+  EXPECT_EQ(out.substr(0, out.find('\n')), "a                long header");
+  // every row line has the second column starting at the same offset.
+  EXPECT_NE(out.find("wide cell value  x"), std::string::npos);
+  EXPECT_NE(out.find("y                z"), std::string::npos);
+}
+
+TEST(Table, RuleSpansAllColumns) {
+  Table t({"ab", "cd"});
+  t.add_row({"1", "2"});
+  const std::string out = t.to_string();
+  const auto first_nl = out.find('\n');
+  const auto second_nl = out.find('\n', first_nl + 1);
+  const std::string rule = out.substr(first_nl + 1, second_nl - first_nl - 1);
+  EXPECT_EQ(rule, std::string(6, '-'));  // 2 + 2 gutter + 2
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, ShortRowsArePaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynreg::stats
