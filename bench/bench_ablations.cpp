@@ -1,4 +1,4 @@
-// E11 — ablations of the design choices DESIGN.md calls out:
+// E11 — ablations of the design choices the protocols embody:
 //
 //  (a) Regular vs atomic ES reads: what the read write-back buys (zero
 //      new/old inversions) and what it costs (an extra quorum round trip).
@@ -6,18 +6,23 @@
 //      the inquiry phase.
 //  (c) The reliable-channel assumption: what breaks first under omission
 //      faults, per protocol.
-#include <iostream>
-
 #include "bench_util.h"
 #include "harness/sweep.h"
-#include "stats/table.h"
+#include "harness/thread_pool.h"
+#include "registry.h"
 
-using namespace dynreg;
-
+namespace dynreg::bench {
 namespace {
 
+using harness::ExperimentConfig;
+using harness::MetricsReport;
+using stats::Cell;
+
+constexpr std::size_t kDefaultSeeds = 3;
+constexpr std::size_t kInversionTrials = 8;
+
 /// Adversary forcing the textbook new/old inversion on the regular ES
-/// variant (see tests/dynreg/es_atomic_test.cpp for the construction).
+/// variant.
 std::unique_ptr<net::DelayModel> inversion_adversary() {
   return std::make_unique<net::AsyncAdversarialDelay>(
       200, [](sim::Time, sim::ProcessId from, sim::ProcessId to,
@@ -35,26 +40,28 @@ bool scripted_inversion_occurs(bool atomic_reads, std::uint64_t seed) {
   EsConfig cfg;
   cfg.n = 5;
   cfg.atomic_reads = atomic_reads;
-  bench::ScriptedCluster cluster(
+  ScriptedCluster cluster(
       seed, 5, 0.0, churn::LeavePolicy::kUniform, inversion_adversary(),
       [cfg](sim::ProcessId id, node::Context& ctx, bool initial) {
         return std::make_unique<EsRegisterNode>(id, ctx, cfg, initial);
       });
   cluster.node(0)->write(1, [] {});
-  bench::pump_until(cluster.sim, [&] { return cluster.node(1)->local_value() == 1; }, 50);
+  pump_until(cluster.sim, [&] { return cluster.node(1)->local_value() == 1; }, 50);
   const auto r1 = cluster.read_blocking(1, 400);
   const auto r2 = cluster.read_blocking(2, 400);
   return r1.has_value() && r2.has_value() && *r1 > *r2;
 }
 
-void ablate_atomic_reads() {
-  stats::Table table({"ES variant", "read latency", "write latency",
-                      "adversarial inversions / 8", "violation rate"});
-  for (const bool atomic : {false, true}) {
-    double lat_r = 0, lat_w = 0, viol = 0;
-    const int seeds = 5;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      harness::ExperimentConfig cfg;
+ResultSection ablate_atomic_reads(std::size_t seeds, std::size_t jobs) {
+  // Harness runs (latency/safety) and scripted inversion trials, flattened
+  // into one task grid: variant-major, replica slots pre-assigned.
+  std::vector<MetricsReport> reports(2 * seeds);
+  std::vector<int> inversions(2 * kInversionTrials, 0);
+  harness::parallel_for(jobs, reports.size() + inversions.size(), [&](std::size_t task) {
+    if (task < reports.size()) {
+      const bool atomic = task >= seeds;
+      const std::size_t s = task % seeds;
+      ExperimentConfig cfg;
       cfg.protocol = harness::Protocol::kEventuallySync;
       cfg.timing = harness::Timing::kEventuallySynchronous;
       cfg.gst = 0;
@@ -62,122 +69,173 @@ void ablate_atomic_reads() {
       cfg.n = 9;
       cfg.delta = 8;
       cfg.duration = 4000;
-      cfg.seed = seed;
       cfg.churn_kind = harness::ChurnKind::kNone;
       cfg.workload.read_interval = 2;
       cfg.workload.write_interval = 20;
-      const auto r = harness::run_experiment(cfg);
+      cfg.seed = harness::replica_seed(0, s);
+      reports[task] = harness::run_experiment(cfg);
+    } else {
+      const std::size_t t = task - reports.size();
+      const bool atomic = t >= kInversionTrials;
+      const std::uint64_t seed = t % kInversionTrials + 1;
+      inversions[t] = scripted_inversion_occurs(atomic, seed) ? 1 : 0;
+    }
+  });
+
+  stats::DataTable table({"ES variant", "read latency", "write latency",
+                          "adversarial inversions / " + std::to_string(kInversionTrials),
+                          "violation rate"});
+  for (const bool atomic : {false, true}) {
+    double lat_r = 0, lat_w = 0, viol = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const auto& r = reports[(atomic ? seeds : 0) + s];
       lat_r += r.read_latency_mean;
       lat_w += r.write_latency_mean;
       viol += r.regularity.violation_rate();
     }
-    int inversions = 0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      if (scripted_inversion_occurs(atomic, seed)) ++inversions;
+    int inverted = 0;
+    for (std::size_t t = 0; t < kInversionTrials; ++t) {
+      inverted += inversions[(atomic ? kInversionTrials : 0) + t];
     }
-    table.add_row({atomic ? "atomic (write-back)" : "regular (paper)",
-                   stats::Table::fmt(lat_r / seeds, 2), stats::Table::fmt(lat_w / seeds, 2),
-                   std::to_string(inversions), stats::Table::fmt(viol / seeds, 4)});
+    const double n = static_cast<double>(seeds);
+    table.add_row({Cell::str(atomic ? "atomic (write-back)" : "regular (paper)"),
+                   Cell::num(lat_r / n, 2), Cell::num(lat_w / n, 2),
+                   Cell::num(inverted, 0), Cell::num(viol / n, 4)});
   }
-  std::cout << "-- (a) regular vs atomic ES reads --\n" << table.to_string() << "\n";
+  return {"atomic_reads", "(a) regular vs atomic ES reads", std::move(table), ""};
 }
 
-void ablate_fast_join() {
-  stats::Table table({"join variant", "delta", "delta'", "mean join latency",
-                      "violation rate"});
-  struct Case {
-    std::optional<sim::Duration> dpp;
-  };
-  for (const Case c : {Case{std::nullopt}, Case{2}, Case{1}}) {
+ResultSection ablate_fast_join(std::size_t seeds, std::size_t jobs) {
+  const std::vector<std::optional<sim::Duration>> cases{std::nullopt, 2, 1};
+
+  std::vector<MetricsReport> reports(cases.size() * seeds);
+  harness::parallel_for(jobs, reports.size(), [&](std::size_t task) {
+    ExperimentConfig cfg;
+    cfg.protocol = harness::Protocol::kSync;
+    cfg.n = 30;
+    cfg.delta = 10;
+    cfg.duration = 3000;
+    cfg.churn_rate = 0.01;
+    cfg.sync_delta_pp = cases[task / seeds];
+    cfg.workload.read_interval = 5;
+    cfg.workload.write_interval = 40;
+    cfg.seed = harness::replica_seed(0, task % seeds);
+    reports[task] = harness::run_experiment(cfg);
+  });
+
+  stats::DataTable table({"join variant", "delta", "delta'", "mean join latency",
+                          "violation rate"});
+  for (std::size_t c = 0; c < cases.size(); ++c) {
     double lat = 0, viol = 0;
-    const int seeds = 3;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      harness::ExperimentConfig cfg;
-      cfg.protocol = harness::Protocol::kSync;
-      cfg.n = 30;
-      cfg.delta = 10;
-      cfg.duration = 3000;
-      cfg.seed = seed;
-      cfg.churn_rate = 0.01;
-      cfg.sync_delta_pp = c.dpp;
-      cfg.workload.read_interval = 5;
-      cfg.workload.write_interval = 40;
-      const auto r = harness::run_experiment(cfg);
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const auto& r = reports[c * seeds + s];
       lat += r.join_latency_mean;
       viol += r.regularity.violation_rate();
     }
-    table.add_row({c.dpp ? "fast (footnote 4)" : "standard (2*delta)", "10",
-                   c.dpp ? std::to_string(*c.dpp) : "-", stats::Table::fmt(lat / seeds, 2),
-                   stats::Table::fmt(viol / seeds, 4)});
+    const double n = static_cast<double>(seeds);
+    table.add_row({Cell::str(cases[c] ? "fast (footnote 4)" : "standard (2*delta)"),
+                   Cell::str("10"),
+                   Cell::str(cases[c] ? std::to_string(*cases[c]) : "-"),
+                   Cell::num(lat / n, 2), Cell::num(viol / n, 4)});
   }
-  std::cout << "-- (b) footnote 4 optimized join --\n" << table.to_string() << "\n";
+  return {"fast_join", "(b) footnote 4 optimized join", std::move(table), ""};
 }
 
-void ablate_reliability() {
-  stats::Table table({"loss rate", "sync violation rate", "sync+refresh violation rate",
-                      "es read completion", "es violation rate"});
-  for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
-    double sync_viol = 0, refresh_viol = 0, es_compl = 0, es_viol = 0;
-    const int seeds = 3;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      harness::ExperimentConfig sync;
-      sync.protocol = harness::Protocol::kSync;
-      sync.n = 20;
-      sync.delta = 5;
-      sync.duration = 2000;
-      sync.seed = seed;
-      sync.churn_rate = 0.005;
-      sync.loss_rate = loss;
-      sync.workload.read_interval = 5;
-      sync.workload.write_interval = 40;
-      const auto rs = harness::run_experiment(sync);
-      sync_viol += rs.regularity.violation_rate();
+ResultSection ablate_reliability(std::size_t seeds, std::size_t jobs) {
+  const std::vector<double> losses{0.0, 0.05, 0.1, 0.2, 0.4};
+  constexpr std::size_t kVariants = 3;  // sync, sync+refresh, es
 
+  auto make_config = [](double loss, std::size_t variant) {
+    ExperimentConfig cfg;
+    cfg.protocol = harness::Protocol::kSync;
+    cfg.n = 20;
+    cfg.delta = 5;
+    cfg.duration = 2000;
+    cfg.churn_rate = 0.005;
+    cfg.loss_rate = loss;
+    cfg.workload.read_interval = 5;
+    cfg.workload.write_interval = 40;
+    if (variant == 1) {
       // Anti-entropy extension: active processes re-broadcast their copy
       // every 10 ticks, healing replicas that missed a lost WRITE.
-      harness::ExperimentConfig healed = sync;
-      healed.sync_refresh_interval = 10;
-      const auto rh = harness::run_experiment(healed);
-      refresh_viol += rh.regularity.violation_rate();
-
-      harness::ExperimentConfig es = sync;
-      es.protocol = harness::Protocol::kEventuallySync;
-      es.timing = harness::Timing::kEventuallySynchronous;
-      es.gst = 0;
-      es.churn_rate = 0.001;
-      es.workload.read_interval = 20;
-      es.workload.write_interval = 100;
-      const auto re = harness::run_experiment(es);
-      es_compl += re.read_completion_rate();
-      es_viol += re.regularity.violation_rate();
+      cfg.sync_refresh_interval = 10;
+    } else if (variant == 2) {
+      cfg.protocol = harness::Protocol::kEventuallySync;
+      cfg.timing = harness::Timing::kEventuallySynchronous;
+      cfg.gst = 0;
+      cfg.churn_rate = 0.001;
+      cfg.workload.read_interval = 20;
+      cfg.workload.write_interval = 100;
     }
-    table.add_row({stats::Table::fmt(loss, 2),
-                   stats::Table::fmt(sync_viol / seeds, 4),
-                   stats::Table::fmt(refresh_viol / seeds, 4),
-                   stats::Table::fmt(es_compl / seeds, 3),
-                   stats::Table::fmt(es_viol / seeds, 4)});
+    return cfg;
+  };
+
+  std::vector<MetricsReport> reports(losses.size() * kVariants * seeds);
+  harness::parallel_for(jobs, reports.size(), [&](std::size_t task) {
+    const std::size_t loss_i = task / (kVariants * seeds);
+    const std::size_t variant = (task / seeds) % kVariants;
+    ExperimentConfig cfg = make_config(losses[loss_i], variant);
+    cfg.seed = harness::replica_seed(0, task % seeds);
+    reports[task] = harness::run_experiment(cfg);
+  });
+
+  auto mean_over = [&](std::size_t loss_i, std::size_t variant,
+                       const std::function<double(const MetricsReport&)>& fn) {
+    double total = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      total += fn(reports[(loss_i * kVariants + variant) * seeds + s]);
+    }
+    return total / static_cast<double>(seeds);
+  };
+
+  stats::DataTable table({"loss rate", "sync violation rate",
+                          "sync+refresh violation rate", "es read completion",
+                          "es violation rate"});
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const auto viol = [](const MetricsReport& r) { return r.regularity.violation_rate(); };
+    table.add_row(
+        {Cell::num(losses[i], 2), Cell::num(mean_over(i, 0, viol), 4),
+         Cell::num(mean_over(i, 1, viol), 4),
+         Cell::num(mean_over(i, 2,
+                             [](const MetricsReport& r) { return r.read_completion_rate(); }),
+                   3),
+         Cell::num(mean_over(i, 2, viol), 4)});
   }
-  std::cout << "-- (c) reliable-channel assumption (omission faults) --\n"
-            << table.to_string() << "\n";
+  return {"reliability", "(c) reliable-channel assumption (omission faults)",
+          std::move(table),
+          "Expected shapes: (a) the write-back removes every inversion and roughly\n"
+          "doubles read latency while write latency is unchanged; (b) join latency\n"
+          "drops from ~delta+2*delta towards delta+delta+delta' with no safety\n"
+          "cost; (c) the time-based sync protocol degrades to stale reads as soon\n"
+          "as channels lose messages (its broadcast is unacknowledged — the paper's\n"
+          "reliability assumption is load-bearing); periodic anti-entropy refresh\n"
+          "recovers most of that safety for a bandwidth price, while the\n"
+          "quorum-based ES protocol keeps safety at every loss rate by\n"
+          "construction and only loses liveness.\n"};
 }
+
+ExperimentResult run(const RunOptions& opts) {
+  const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
+  ExperimentResult result;
+  result.sections.push_back(ablate_atomic_reads(seeds, opts.jobs));
+  result.sections.push_back(ablate_fast_join(seeds, opts.jobs));
+  result.sections.push_back(ablate_reliability(seeds, opts.jobs));
+  return result;
+}
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "ablations";
+  e.id = "E11";
+  e.title = "design-choice ablations";
+  e.paper_ref = "Section 6 extensions; footnote 4; Section 3.2 assumptions";
+  e.grid = "(a) {regular, atomic} reads; (b) delta' {-, 2, 1}; (c) loss {0..0.4}";
+  e.default_seeds = kDefaultSeeds;
+  e.run = run;
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
 
 }  // namespace
-
-int main() {
-  std::cout << "=== E11: design-choice ablations ===\n";
-  std::cout << "reproduces: Section 6 extensions; footnote 4; Section 3.2 assumptions\n\n";
-  ablate_atomic_reads();
-  ablate_fast_join();
-  ablate_reliability();
-  std::cout
-      << "Expected shapes: (a) the write-back removes every inversion and roughly\n"
-         "doubles read latency while write latency is unchanged; (b) join latency\n"
-         "drops from ~delta+2*delta towards delta+delta+delta' with no safety\n"
-         "cost; (c) the time-based sync protocol degrades to stale reads as soon\n"
-         "as channels lose messages (its broadcast is unacknowledged — the paper's\n"
-         "reliability assumption is load-bearing); periodic anti-entropy refresh\n"
-         "recovers most of that safety for a bandwidth price, while the\n"
-         "quorum-based ES protocol keeps safety at every loss rate by\n"
-         "construction and only loses liveness.\n";
-  return 0;
-}
+}  // namespace dynreg::bench

@@ -10,11 +10,15 @@
 // value the join adopted and whether a post-write read is stale (a safety
 // violation). The no-wait variant (Figure 3a) violates for every offset
 // inside the write window; the paper's protocol (Figure 3b) never does.
+// This is a scripted deterministic construction: --seeds has no effect.
 #include "bench_util.h"
+#include "harness/thread_pool.h"
+#include "registry.h"
 
-using namespace dynreg;
-
+namespace dynreg::bench {
 namespace {
+
+using stats::Cell;
 
 constexpr sim::Duration kDelta = 10;
 
@@ -42,7 +46,7 @@ Outcome run_scenario(bool wait_before_inquiry, sim::Duration joiner_offset) {
         if (type == "sync.reply" && from == 0) return kDelta;
         return 1;
       });
-  auto cluster = bench::ScriptedCluster::sync(3, 3, 0.0, cfg, std::move(delays));
+  auto cluster = ScriptedCluster::sync(3, 3, 0.0, cfg, std::move(delays));
 
   Outcome out;
   cluster->sim.run_until(5);
@@ -59,29 +63,59 @@ Outcome run_scenario(bool wait_before_inquiry, sim::Duration joiner_offset) {
 
 std::string value_str(Value v) { return v == kBottom ? "BOT" : std::to_string(v); }
 
-}  // namespace
-
-int main() {
-  bench::print_header("E1: join wait(delta) necessity",
-                      "Figure 3(a)/(b), Section 3.3");
-
-  stats::Table table({"variant", "join offset after write", "value adopted by join",
-                      "read after write done", "safety violation"});
+ExperimentResult run(const RunOptions& opts) {
+  struct Case {
+    bool wait;
+    sim::Duration offset;
+  };
+  std::vector<Case> cases;
   for (const bool wait : {false, true}) {
-    for (const sim::Duration offset : {1u, 3u, 5u, 8u}) {
-      const Outcome out = run_scenario(wait, offset);
-      // The write completed long before the final read, so any value other
-      // than 1 is a violation of the regular-register safety property.
-      const bool violation = out.read_after_write != 1;
-      table.add_row({wait ? "with wait (Fig 3b)" : "no wait (Fig 3a)",
-                     "+" + std::to_string(offset), value_str(out.joined_value),
-                     value_str(out.read_after_write), violation ? "VIOLATION" : "ok"});
-    }
+    for (const sim::Duration offset : {1u, 3u, 5u, 8u}) cases.push_back({wait, offset});
   }
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected shape (paper): every no-wait row inside the write window is a\n"
-               "violation (the join adopts the superseded value 0); every with-wait row\n"
-               "is clean because the initial delta wait lets WRITE(1) land at the\n"
-               "repliers first.\n";
-  return 0;
+
+  std::vector<Outcome> outcomes(cases.size());
+  harness::parallel_for(opts.jobs, cases.size(), [&](std::size_t i) {
+    outcomes[i] = run_scenario(cases[i].wait, cases[i].offset);
+  });
+
+  stats::DataTable table({"variant", "join offset after write", "value adopted by join",
+                          "read after write done", "safety violation"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Outcome& out = outcomes[i];
+    // The write completed long before the final read, so any value other
+    // than 1 is a violation of the regular-register safety property.
+    const bool violation = out.read_after_write != 1;
+    table.add_row({Cell::str(cases[i].wait ? "with wait (Fig 3b)" : "no wait (Fig 3a)"),
+                   Cell::str("+" + std::to_string(cases[i].offset)),
+                   Cell::str(value_str(out.joined_value)),
+                   Cell::str(value_str(out.read_after_write)),
+                   Cell::str(violation ? "VIOLATION" : "ok")});
+  }
+
+  ExperimentResult result;
+  result.sections.push_back(
+      {"join_wait", "", std::move(table),
+       "Expected shape (paper): every no-wait row inside the write window is a\n"
+       "violation (the join adopts the superseded value 0); every with-wait row\n"
+       "is clean because the initial delta wait lets WRITE(1) land at the\n"
+       "repliers first.\n"});
+  return result;
 }
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "fig3_join_wait";
+  e.id = "E1";
+  e.title = "join wait(delta) necessity";
+  e.paper_ref = "Figure 3(a)/(b), Section 3.3";
+  e.grid = "scripted scenario: {no wait, wait} x joiner offset {1,3,5,8}; seeds ignored";
+  e.default_seeds = 1;
+  e.uses_seeds = false;
+  e.run = run;
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
+
+}  // namespace
+}  // namespace dynreg::bench

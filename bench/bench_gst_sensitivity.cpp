@@ -13,17 +13,19 @@
 //      the majority-active assumption |A(t)| > n/2 only survives while the
 //      asynchronous period is short relative to 1/c — an emergent
 //      constraint the paper's Section 5 assumptions encode.
-#include <iostream>
-
 #include "harness/sweep.h"
-#include "stats/table.h"
+#include "registry.h"
 
-using namespace dynreg;
-
+namespace dynreg::bench {
 namespace {
 
-harness::ExperimentConfig base_config() {
-  harness::ExperimentConfig cfg;
+using harness::ExperimentConfig;
+using stats::Cell;
+
+constexpr std::size_t kDefaultSeeds = 3;
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
   cfg.protocol = harness::Protocol::kEventuallySync;
   cfg.timing = harness::Timing::kEventuallySynchronous;
   cfg.n = 15;
@@ -36,74 +38,65 @@ harness::ExperimentConfig base_config() {
   return cfg;
 }
 
-}  // namespace
-
-int main() {
-  std::cout << "=== E8: GST sensitivity of the ES protocol ===\n";
-  std::cout << "reproduces: Section 5.1 model (eventual timely delivery)\n\n";
+ExperimentResult run(const RunOptions& opts) {
+  const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
+  ExperimentResult result;
 
   {
-    const auto points = harness::sweep(
+    const auto points = harness::parallel_sweep(
         base_config(), {0.0, 500.0, 1000.0, 2000.0, 4000.0},
-        [](harness::ExperimentConfig& cfg, double gst) {
-          cfg.gst = static_cast<sim::Time>(gst);
-        },
-        /*seeds=*/3);
-    stats::Table table({"GST", "read completion", "write completion",
-                        "mean read latency", "p99-ish max latency", "violation rate"});
+        [](ExperimentConfig& cfg, double gst) { cfg.gst = static_cast<sim::Time>(gst); },
+        seeds, opts.jobs);
+    stats::DataTable table({"GST", "read completion", "write completion",
+                            "mean read latency", "p99-ish max latency", "violation rate"});
     for (const auto& p : points) {
-      const double max_lat = harness::mean_of(p.runs, [](const harness::MetricsReport& r) {
-        return static_cast<double>(r.read_latency_p99);
-      });
-      table.add_row({stats::Table::fmt(p.x, 0),
-                     stats::Table::fmt(p.mean_read_completion(), 3),
-                     stats::Table::fmt(p.mean_write_completion(), 3),
-                     stats::Table::fmt(p.mean_read_latency(), 1),
-                     stats::Table::fmt(max_lat, 0),
-                     stats::Table::fmt(p.mean_violation_rate(), 4)});
+      const auto agg = p.aggregate();
+      table.add_row({Cell::num(p.x, 0), Cell::num(agg.read_completion.mean, 3),
+                     Cell::num(agg.write_completion.mean, 3),
+                     Cell::num(agg.read_latency.mean, 1),
+                     Cell::num(agg.read_latency_p99.mean, 0),
+                     Cell::num(agg.violation_rate.mean, 4)});
     }
-    std::cout << "-- sweep 1: stabilization time (no churn; pre-GST max delay 300) --\n"
-              << table.to_string() << "\n";
+    result.sections.push_back(
+        {"gst_position", "sweep 1: stabilization time (no churn; pre-GST max delay 300)",
+         std::move(table), ""});
   }
 
   {
     auto cfg = base_config();
     cfg.gst = 2000;
-    const auto points = harness::sweep(
+    const auto points = harness::parallel_sweep(
         cfg, {10.0, 50.0, 150.0, 300.0, 600.0},
-        [](harness::ExperimentConfig& c, double m) {
+        [](ExperimentConfig& c, double m) {
           c.pre_gst_max = static_cast<sim::Duration>(m);
         },
-        /*seeds=*/3);
-    stats::Table table({"pre-GST max delay", "read completion", "write completion",
-                        "mean read latency", "violation rate"});
+        seeds, opts.jobs);
+    stats::DataTable table({"pre-GST max delay", "read completion", "write completion",
+                            "mean read latency", "violation rate"});
     for (const auto& p : points) {
-      table.add_row({stats::Table::fmt(p.x, 0),
-                     stats::Table::fmt(p.mean_read_completion(), 3),
-                     stats::Table::fmt(p.mean_write_completion(), 3),
-                     stats::Table::fmt(p.mean_read_latency(), 1),
-                     stats::Table::fmt(p.mean_violation_rate(), 4)});
+      const auto agg = p.aggregate();
+      table.add_row({Cell::num(p.x, 0), Cell::num(agg.read_completion.mean, 3),
+                     Cell::num(agg.write_completion.mean, 3),
+                     Cell::num(agg.read_latency.mean, 1),
+                     Cell::num(agg.violation_rate.mean, 4)});
     }
-    std::cout << "-- sweep 2: pre-GST adversary severity (no churn; GST = 2000) --\n"
-              << table.to_string() << "\n";
+    result.sections.push_back(
+        {"pre_gst_severity", "sweep 2: pre-GST adversary severity (no churn; GST = 2000)",
+         std::move(table), ""});
   }
 
   {
     auto cfg = base_config();
     cfg.churn_kind = harness::ChurnKind::kConstant;
     cfg.churn_rate = cfg.es_churn_threshold();
-    const auto points = harness::sweep(
+    const auto points = harness::parallel_sweep(
         cfg, {0.0, 50.0, 100.0, 250.0, 500.0, 1000.0},
-        [](harness::ExperimentConfig& c, double gst) {
-          c.gst = static_cast<sim::Time>(gst);
-        },
-        /*seeds=*/3);
-    stats::Table table({"GST", "majority survived", "joins done / begun", "read completion",
-                        "violation rate"});
+        [](ExperimentConfig& c, double gst) { c.gst = static_cast<sim::Time>(gst); },
+        seeds, opts.jobs);
+    stats::DataTable table({"GST", "majority survived", "joins done / begun",
+                            "read completion", "violation rate"});
     for (const auto& p : points) {
-      const double majority = harness::mean_of(p.runs, [](const harness::MetricsReport& r) {
-        return r.majority_active_always ? 1.0 : 0.0;
-      });
+      const auto agg = p.aggregate();
       // Raw fraction (not the excused-join completion rate): under heavy
       // asynchrony most joiners are churned out before activating, which
       // the excused rate would hide.
@@ -112,21 +105,38 @@ int main() {
                                     : static_cast<double>(r.joins_completed) /
                                           static_cast<double>(r.joins_started);
       });
-      table.add_row({stats::Table::fmt(p.x, 0), stats::Table::fmt(majority, 2),
-                     stats::Table::fmt(raw_joins, 3),
-                     stats::Table::fmt(p.mean_read_completion(), 3),
-                     stats::Table::fmt(p.mean_violation_rate(), 4)});
+      table.add_row({Cell::num(p.x, 0), Cell::num(agg.majority_active_fraction, 2),
+                     Cell::num(raw_joins, 3), Cell::num(agg.read_completion.mean, 3),
+                     Cell::num(agg.violation_rate.mean, 4)});
     }
-    std::cout << "-- sweep 3: GST x churn interplay (churn at the ES bound) --\n"
-              << table.to_string() << "\n";
+    result.sections.push_back(
+        {"gst_churn_interplay", "sweep 3: GST x churn interplay (churn at the ES bound)",
+         std::move(table),
+         "Expected shape (paper): safety never depends on GST (violation rate 0\n"
+         "everywhere — Theorem 4 needs no synchrony); without churn, liveness\n"
+         "recovers right after stabilization at any GST, with latency absorbing\n"
+         "the wait. With churn on, joins cannot complete while the network is\n"
+         "asynchronous, so a long pre-GST period drains |A(t)| below n/2 and the\n"
+         "system cannot recover even after GST — the majority-active assumption\n"
+         "of Section 5.2 implicitly bounds churn DURING the asynchronous period.\n"});
   }
 
-  std::cout << "Expected shape (paper): safety never depends on GST (violation rate 0\n"
-               "everywhere — Theorem 4 needs no synchrony); without churn, liveness\n"
-               "recovers right after stabilization at any GST, with latency absorbing\n"
-               "the wait. With churn on, joins cannot complete while the network is\n"
-               "asynchronous, so a long pre-GST period drains |A(t)| below n/2 and the\n"
-               "system cannot recover even after GST — the majority-active assumption\n"
-               "of Section 5.2 implicitly bounds churn DURING the asynchronous period.\n";
-  return 0;
+  return result;
 }
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "gst_sensitivity";
+  e.id = "E8";
+  e.title = "GST sensitivity of the ES protocol";
+  e.paper_ref = "Section 5.1 model (eventual timely delivery)";
+  e.grid = "GST in {0..4000}; pre-GST max in {10..600}; GST x churn at ES bound";
+  e.default_seeds = kDefaultSeeds;
+  e.run = run;
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
+
+}  // namespace
+}  // namespace dynreg::bench

@@ -7,12 +7,15 @@
 // system keeps completing writes. Re-running the same deployment with a
 // stabilization time (GST) shows the read terminating shortly after GST —
 // the exact boundary between Section 4 (impossible) and Section 5
-// (possible).
+// (possible). Scripted deterministic construction: --seeds has no effect.
 #include "bench_util.h"
+#include "harness/thread_pool.h"
+#include "registry.h"
 
-using namespace dynreg;
-
+namespace dynreg::bench {
 namespace {
+
+using stats::Cell;
 
 constexpr sim::ProcessId kVictim = 2;
 
@@ -22,7 +25,7 @@ struct RunResult {
   sim::Time victim_read_latency = 0;
 };
 
-RunResult run(sim::Time horizon, std::optional<sim::Time> gst) {
+RunResult run_scenario(sim::Time horizon, std::optional<sim::Time> gst) {
   auto delays = std::make_unique<net::AsyncAdversarialDelay>(
       40, [gst](sim::Time now, sim::ProcessId, sim::ProcessId to,
                 const net::Payload&) -> std::optional<sim::Duration> {
@@ -31,7 +34,7 @@ RunResult run(sim::Time horizon, std::optional<sim::Time> gst) {
         if (now < *gst) return *gst - now + 3;  // late but timely after GST
         return 3;
       });
-  auto cluster = bench::ScriptedCluster::es(19, 5, 0.0, std::move(delays));
+  auto cluster = ScriptedCluster::es(19, 5, 0.0, std::move(delays));
 
   RunResult result;
   cluster->node(0)->write(1, [&result] { result.write_completed = true; });
@@ -44,36 +47,61 @@ RunResult run(sim::Time horizon, std::optional<sim::Time> gst) {
   return result;
 }
 
-}  // namespace
-
-int main() {
-  bench::print_header("E5: impossibility in a fully asynchronous system",
-                      "Theorem 2, Section 4 (vs Theorem 3, Section 5)");
-
-  stats::Table table({"timing model", "horizon", "writer's write", "victim's read",
-                      "victim read latency"});
-
+ExperimentResult run(const RunOptions& opts) {
+  struct Case {
+    std::string timing;
+    sim::Time horizon;
+    std::optional<sim::Time> gst;
+  };
+  std::vector<Case> cases;
   for (const sim::Time horizon : {1000u, 10000u, 100000u}) {
-    const RunResult r = run(horizon, std::nullopt);
-    table.add_row({"fully asynchronous", std::to_string(horizon),
-                   r.write_completed ? "completed" : "blocked",
-                   r.victim_read_completed ? "completed" : "NEVER TERMINATES",
-                   r.victim_read_completed ? std::to_string(r.victim_read_latency) : "-"});
+    cases.push_back({"fully asynchronous", horizon, std::nullopt});
   }
   for (const sim::Time gst : {500u, 2000u}) {
-    const RunResult r = run(/*horizon=*/gst + 5000, gst);
-    table.add_row({"eventually sync (GST=" + std::to_string(gst) + ")",
-                   std::to_string(gst + 5000),
-                   r.write_completed ? "completed" : "blocked",
-                   r.victim_read_completed ? "completed" : "NEVER TERMINATES",
-                   r.victim_read_completed ? std::to_string(r.victim_read_latency) : "-"});
+    cases.push_back({"eventually sync (GST=" + std::to_string(gst) + ")", gst + 5000, gst});
   }
 
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected shape (paper): under full asynchrony the victim's read stays\n"
-               "blocked at every horizon (the adversary always has a schedule in which\n"
-               "the value obtained is older than the last completed write, hence no\n"
-               "protocol can be both safe and live — Theorem 2). With eventual\n"
-               "synchrony the read terminates about GST + a round trip later.\n";
-  return 0;
+  std::vector<RunResult> outcomes(cases.size());
+  harness::parallel_for(opts.jobs, cases.size(), [&](std::size_t i) {
+    outcomes[i] = run_scenario(cases[i].horizon, cases[i].gst);
+  });
+
+  stats::DataTable table({"timing model", "horizon", "writer's write", "victim's read",
+                          "victim read latency"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const RunResult& r = outcomes[i];
+    table.add_row(
+        {Cell::str(cases[i].timing), Cell::num(static_cast<double>(cases[i].horizon), 0),
+         Cell::str(r.write_completed ? "completed" : "blocked"),
+         Cell::str(r.victim_read_completed ? "completed" : "NEVER TERMINATES"),
+         Cell::str(r.victim_read_completed ? std::to_string(r.victim_read_latency) : "-")});
+  }
+
+  ExperimentResult result;
+  result.sections.push_back(
+      {"impossibility", "", std::move(table),
+       "Expected shape (paper): under full asynchrony the victim's read stays\n"
+       "blocked at every horizon (the adversary always has a schedule in which\n"
+       "the value obtained is older than the last completed write, hence no\n"
+       "protocol can be both safe and live — Theorem 2). With eventual\n"
+       "synchrony the read terminates about GST + a round trip later.\n"});
+  return result;
 }
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "impossibility_async";
+  e.id = "E5";
+  e.title = "impossibility in a fully asynchronous system";
+  e.paper_ref = "Theorem 2, Section 4 (vs Theorem 3, Section 5)";
+  e.grid = "scripted adversary: horizons {1e3,1e4,1e5} async; GST {500,2000}; seeds ignored";
+  e.default_seeds = 1;
+  e.uses_seeds = false;
+  e.run = run;
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
+
+}  // namespace
+}  // namespace dynreg::bench

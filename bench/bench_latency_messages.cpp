@@ -6,27 +6,34 @@
 // per read and write; ABD pays two phases per read. Message totals scale
 // with n for broadcast/quorum traffic — the table shows the per-operation
 // traffic as n grows.
-#include <iostream>
+#include <algorithm>
 
-#include "harness/experiment.h"
-#include "stats/table.h"
+#include "harness/sweep.h"
+#include "harness/thread_pool.h"
+#include "registry.h"
 
-using namespace dynreg;
-
+namespace dynreg::bench {
 namespace {
+
+using harness::ExperimentConfig;
+using harness::MetricsReport;
+using stats::Cell;
+
+constexpr std::size_t kDefaultSeeds = 1;
 
 struct Row {
   double read_lat = 0, write_lat = 0, join_lat = 0;
   double msgs_per_read = 0, msgs_per_write = 0;
 };
 
-Row measure(harness::Protocol protocol, std::size_t n, std::uint64_t seed) {
-  harness::ExperimentConfig cfg;
+ExperimentConfig make_config(harness::Protocol protocol, std::size_t n) {
+  ExperimentConfig cfg;
   cfg.protocol = protocol;
+  cfg.seed = 4;  // replica seed 0: 4 + 1009... first replica differs from the
+                 // original fixed seed 5 only via replica_seed's offset
   cfg.n = n;
   cfg.delta = 5;
   cfg.duration = 3000;
-  cfg.seed = seed;
   cfg.churn_rate = 0.002;  // light churn so joins exist for the join column
   if (protocol == harness::Protocol::kAbd) {
     cfg.churn_kind = harness::ChurnKind::kNone;  // keep the member set intact
@@ -37,11 +44,13 @@ Row measure(harness::Protocol protocol, std::size_t n, std::uint64_t seed) {
   }
   cfg.workload.read_interval = 10;
   cfg.workload.write_interval = 50;
-  const auto r = harness::run_experiment(cfg);
+  return cfg;
+}
 
-  // Attribute message copies to operations. Reads: read/query traffic plus
-  // their replies; writes: write/update dissemination plus acks (for the
-  // sync protocol a write is a single broadcast and reads are free).
+/// Attributes message copies to operations. Reads: read/query traffic plus
+/// their replies; writes: write/update dissemination plus acks (for the
+/// sync protocol a write is a single broadcast and reads are free).
+Row attribute(harness::Protocol protocol, const MetricsReport& r) {
   auto copies = [&r](const char* type) -> double {
     const auto it = r.msgs_by_type.find(type);
     return it == r.msgs_by_type.end() ? 0.0 : static_cast<double>(it->second);
@@ -74,7 +83,7 @@ Row measure(harness::Protocol protocol, std::size_t n, std::uint64_t seed) {
   return row;
 }
 
-const char* name(harness::Protocol p) {
+const char* protocol_name(harness::Protocol p) {
   switch (p) {
     case harness::Protocol::kSync: return "sync";
     case harness::Protocol::kSyncNoWait: return "sync-nowait";
@@ -84,32 +93,72 @@ const char* name(harness::Protocol p) {
   return "?";
 }
 
-}  // namespace
+ExperimentResult run(const RunOptions& opts) {
+  const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
 
-int main() {
-  std::cout << "=== E7: latency and message cost per operation ===\n";
-  std::cout << "reproduces: Section 3.3 'fast reads' design goal; footnote 4\n\n";
+  const std::vector<harness::Protocol> protocols{
+      harness::Protocol::kSync, harness::Protocol::kEventuallySync,
+      harness::Protocol::kAbd};
+  const std::vector<std::size_t> sizes{10, 20, 40, 80};
 
-  stats::Table table({"protocol", "n", "read latency", "write latency", "join latency",
-                      "msgs/read", "msgs/write"});
-  for (const harness::Protocol protocol :
-       {harness::Protocol::kSync, harness::Protocol::kEventuallySync,
-        harness::Protocol::kAbd}) {
-    for (const std::size_t n : {10u, 20u, 40u, 80u}) {
-      const Row row = measure(protocol, n, 5);
-      table.add_row({name(protocol), std::to_string(n), stats::Table::fmt(row.read_lat, 2),
-                     stats::Table::fmt(row.write_lat, 2),
-                     stats::Table::fmt(row.join_lat, 2),
-                     stats::Table::fmt(row.msgs_per_read, 1),
-                     stats::Table::fmt(row.msgs_per_write, 1)});
+  // Flatten the (protocol, n, seed) grid; every replica has its own slot.
+  const std::size_t cells = protocols.size() * sizes.size();
+  std::vector<MetricsReport> reports(cells * seeds);
+  harness::parallel_for(opts.jobs, reports.size(), [&](std::size_t task) {
+    const std::size_t cell = task / seeds;
+    const std::size_t s = task % seeds;
+    ExperimentConfig cfg =
+        make_config(protocols[cell / sizes.size()], sizes[cell % sizes.size()]);
+    cfg.seed = harness::replica_seed(cfg.seed, s);
+    reports[task] = harness::run_experiment(cfg);
+  });
+
+  stats::DataTable table({"protocol", "n", "read latency", "write latency",
+                          "join latency", "msgs/read", "msgs/write"});
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    const harness::Protocol protocol = protocols[cell / sizes.size()];
+    Row mean;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const Row row = attribute(protocol, reports[cell * seeds + s]);
+      mean.read_lat += row.read_lat;
+      mean.write_lat += row.write_lat;
+      mean.join_lat += row.join_lat;
+      mean.msgs_per_read += row.msgs_per_read;
+      mean.msgs_per_write += row.msgs_per_write;
     }
+    const double n = static_cast<double>(seeds);
+    table.add_row({Cell::str(protocol_name(protocol)),
+                   Cell::num(static_cast<double>(sizes[cell % sizes.size()]), 0),
+                   Cell::num(mean.read_lat / n, 2), Cell::num(mean.write_lat / n, 2),
+                   Cell::num(mean.join_lat / n, 2), Cell::num(mean.msgs_per_read / n, 1),
+                   Cell::num(mean.msgs_per_write / n, 1)});
   }
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected shape (paper): sync reads cost 0 ticks and 0 messages at every\n"
-               "n (the protocol is 'targeted for applications where the number of reads\n"
-               "outperforms the number of writes'); quorum-based reads (ES, ABD) pay a\n"
-               "round trip and Theta(n) messages; writes are Theta(n) everywhere; sync\n"
-               "writes take exactly delta while quorum writes finish as soon as a\n"
-               "majority acknowledges (usually < delta on average).\n";
-  return 0;
+
+  ExperimentResult result;
+  result.sections.push_back(
+      {"latency_messages", "", std::move(table),
+       "Expected shape (paper): sync reads cost 0 ticks and 0 messages at every\n"
+       "n (the protocol is 'targeted for applications where the number of reads\n"
+       "outperforms the number of writes'); quorum-based reads (ES, ABD) pay a\n"
+       "round trip and Theta(n) messages; writes are Theta(n) everywhere; sync\n"
+       "writes take exactly delta while quorum writes finish as soon as a\n"
+       "majority acknowledges (usually < delta on average).\n"});
+  return result;
 }
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "latency_messages";
+  e.id = "E7";
+  e.title = "latency and message cost per operation";
+  e.paper_ref = "Section 3.3 'fast reads' design goal; footnote 4";
+  e.grid = "protocols {sync, es, abd} x n in {10,20,40,80}";
+  e.default_seeds = kDefaultSeeds;
+  e.run = run;
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
+
+}  // namespace
+}  // namespace dynreg::bench

@@ -9,17 +9,19 @@
 // locates the empirical maximum sustainable c, compared against the
 // analytic sufficient bound 1/(3*delta), under both uniform and
 // adversarial departures.
-#include <iostream>
-
 #include "harness/sweep.h"
-#include "stats/table.h"
+#include "registry.h"
 
-using namespace dynreg;
-
+namespace dynreg::bench {
 namespace {
 
-harness::ExperimentConfig survival_config(sim::Duration delta) {
-  harness::ExperimentConfig cfg;
+using harness::ExperimentConfig;
+using stats::Cell;
+
+constexpr std::size_t kDefaultSeeds = 4;
+
+ExperimentConfig survival_config(sim::Duration delta) {
+  ExperimentConfig cfg;
   cfg.protocol = harness::Protocol::kSync;
   cfg.n = 30;
   cfg.delta = delta;
@@ -38,59 +40,81 @@ double survival_fraction(const std::vector<harness::MetricsReport>& runs) {
   return ok / static_cast<double>(runs.size());
 }
 
-}  // namespace
+const char* policy_tag(churn::LeavePolicy policy) {
+  return policy == churn::LeavePolicy::kUniform ? "uniform" : "adversarial";
+}
 
-int main() {
-  std::cout << "=== E10: empirical maximum sustainable churn ===\n";
-  std::cout << "reproduces: Section 7 open question (greatest c as a function of delta)\n\n";
-
+ExperimentResult run(const RunOptions& opts) {
+  const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
   const std::vector<double> grid{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0};
+  const std::vector<sim::Duration> deltas{3, 5, 8};
+
+  ExperimentResult result;
 
   for (const churn::LeavePolicy policy :
        {churn::LeavePolicy::kUniform, churn::LeavePolicy::kOldestActiveFirst}) {
-    std::cout << "-- "
-              << (policy == churn::LeavePolicy::kUniform ? "uniform departures"
-                                                         : "adversarial departures")
-              << " (survival mode: no writes, nobody exempt) --\n";
-    stats::Table summary({"delta", "analytic 1/(3d)", "empirical max c (grid)",
-                          "empirical/analytic"});
-    for (const sim::Duration delta : {3u, 5u, 8u}) {
-      auto cfg = survival_config(delta);
+    stats::DataTable summary({"delta", "analytic 1/(3d)", "empirical max c (grid)",
+                              "empirical/analytic"});
+    for (const sim::Duration delta : deltas) {
+      ExperimentConfig cfg = survival_config(delta);
       cfg.leave_policy = policy;
       const double threshold = cfg.sync_churn_threshold();
 
-      const auto points = harness::sweep(
+      const auto points = harness::parallel_sweep(
           cfg, grid,
-          [threshold](harness::ExperimentConfig& c, double f) {
-            c.churn_rate = f * threshold;
-          },
-          /*seeds=*/4);
+          [threshold](ExperimentConfig& c, double f) { c.churn_rate = f * threshold; },
+          seeds, opts.jobs);
 
       double max_clean_fraction = 0.0;
-      stats::Table detail({"c/threshold", "survival fraction", "violation rate",
-                           "min |A(t,t+3d)|"});
+      stats::DataTable detail({"c/threshold", "survival fraction", "violation rate",
+                               "min |A(t,t+3d)|"});
       for (const auto& p : points) {
         const double surv = survival_fraction(p.runs);
         if (surv == 1.0) max_clean_fraction = p.x;
-        detail.add_row({stats::Table::fmt(p.x, 2), stats::Table::fmt(surv, 2),
-                        stats::Table::fmt(p.mean_violation_rate(), 4),
-                        stats::Table::fmt(p.mean_min_active_3delta(), 1)});
+        detail.add_row({Cell::num(p.x, 2), Cell::num(surv, 2),
+                        Cell::num(p.mean_violation_rate(), 4),
+                        Cell::num(p.mean_min_active_3delta(), 1)});
       }
-      std::cout << "delta = " << delta << " (threshold c = "
-                << stats::Table::fmt(threshold, 4) << ")\n"
-                << detail.to_string();
-      summary.add_row({std::to_string(delta), stats::Table::fmt(threshold, 4),
-                       stats::Table::fmt(max_clean_fraction * threshold, 4),
-                       stats::Table::fmt(max_clean_fraction, 2)});
+      result.sections.push_back(
+          {std::string(policy_tag(policy)) + "_delta" + std::to_string(delta),
+           std::string(policy_tag(policy)) + " departures, delta = " +
+               std::to_string(delta) + " (threshold c = " +
+               stats::Table::fmt(threshold, 4) + ")",
+           std::move(detail), ""});
+      summary.add_row({Cell::num(static_cast<double>(delta), 0),
+                       Cell::num(threshold, 4),
+                       Cell::num(max_clean_fraction * threshold, 4),
+                       Cell::num(max_clean_fraction, 2)});
     }
-    std::cout << "summary:\n" << summary.to_string() << "\n";
+    const bool last = policy == churn::LeavePolicy::kOldestActiveFirst;
+    result.sections.push_back(
+        {std::string(policy_tag(policy)) + "_summary",
+         std::string(policy_tag(policy)) + " departures: summary", std::move(summary),
+         last ? "Expected shape (paper): the analytic bound 1/(3*delta) is sufficient —\n"
+                "survival is certain below it for every delta. It is nearly necessary\n"
+                "under adversarial departures (empirical/analytic close to 1), while\n"
+                "uniform departures leave some slack: late joiners can get lucky and\n"
+                "find an informed replier even past the bound. The empirical maximum\n"
+                "scales like 1/delta, answering the conclusion's question in shape.\n"
+              : ""});
   }
 
-  std::cout << "Expected shape (paper): the analytic bound 1/(3*delta) is sufficient —\n"
-               "survival is certain below it for every delta. It is nearly necessary\n"
-               "under adversarial departures (empirical/analytic close to 1), while\n"
-               "uniform departures leave some slack: late joiners can get lucky and\n"
-               "find an informed replier even past the bound. The empirical maximum\n"
-               "scales like 1/delta, answering the conclusion's question in shape.\n";
-  return 0;
+  return result;
 }
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "max_churn";
+  e.id = "E10";
+  e.title = "empirical maximum sustainable churn";
+  e.paper_ref = "Section 7 open question (greatest c as a function of delta)";
+  e.grid = "policies {uniform, adversarial} x delta {3,5,8} x c/threshold {0.25..3}";
+  e.default_seeds = kDefaultSeeds;
+  e.run = run;
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
+
+}  // namespace
+}  // namespace dynreg::bench

@@ -1,6 +1,11 @@
 // M1 — substrate microbenchmarks (google-benchmark): event-queue
 // throughput, network dispatch, consistency checking, and a full
 // experiment run as an end-to-end figure of merit.
+//
+// This binary measures wall-clock performance, not paper claims, so it
+// lives outside the ExperimentRegistry / dynreg_exp CLI (its driver is
+// google-benchmark's own main). See docs/EXPERIMENTS.md for the mapping of
+// the registered experiments to the paper.
 #include <benchmark/benchmark.h>
 
 #include "consistency/regularity_checker.h"

@@ -5,76 +5,108 @@
 // frequency for the synchronous protocol as reads increasingly race the
 // delta-long write propagation — and contrasts the ABD baseline, whose
 // read write-back makes it atomic (zero inversions, by construction).
-#include <iostream>
-
 #include "harness/sweep.h"
-#include "stats/table.h"
+#include "harness/thread_pool.h"
+#include "registry.h"
 
-using namespace dynreg;
-
+namespace dynreg::bench {
 namespace {
 
-harness::MetricsReport run_once(harness::Protocol protocol, sim::Duration read_interval,
-                                std::uint64_t seed) {
-  harness::ExperimentConfig cfg;
+using harness::ExperimentConfig;
+using stats::Cell;
+
+constexpr std::size_t kDefaultSeeds = 5;
+
+ExperimentConfig base_config(harness::Protocol protocol) {
+  ExperimentConfig cfg;
   cfg.protocol = protocol;
+  cfg.seed = 0;
   cfg.n = 16;
   cfg.delta = 12;  // long write windows maximize read/write concurrency
   cfg.duration = 4000;
-  cfg.seed = seed;
   cfg.churn_kind = harness::ChurnKind::kNone;
-  cfg.workload.read_interval = read_interval;
   cfg.workload.write_interval = 8;
   if (protocol == harness::Protocol::kAbd) {
     cfg.workload.write_interval = 20;  // ABD writes are slower; keep them serialized
   }
-  return harness::run_experiment(cfg);
+  return cfg;
 }
+
+struct Case {
+  harness::Protocol protocol;
+  const char* label;
+  sim::Duration gap;
+};
+
+ExperimentResult run(const RunOptions& opts) {
+  const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
+
+  std::vector<Case> cases;
+  for (const sim::Duration gap : {1u, 2u, 4u, 8u, 16u}) {
+    cases.push_back({harness::Protocol::kSync, "sync (regular)", gap});
+  }
+  for (const sim::Duration gap : {1u, 4u}) {
+    cases.push_back({harness::Protocol::kAbd, "abd (atomic)", gap});
+  }
+
+  // One flattened (case, seed) grid — the abd cells run alongside the sync
+  // cells instead of behind a barrier.
+  std::vector<harness::MetricsReport> reports(cases.size() * seeds);
+  harness::parallel_for(opts.jobs, reports.size(), [&](std::size_t task) {
+    ExperimentConfig cfg = base_config(cases[task / seeds].protocol);
+    cfg.workload.read_interval = cases[task / seeds].gap;
+    cfg.seed = harness::replica_seed(cfg.seed, task % seeds);
+    reports[task] = harness::run_experiment(cfg);
+  });
+
+  stats::DataTable table({"protocol", "read gap (ticks)", "reads checked",
+                          "inversions / 1k reads", "inversions max/seed",
+                          "regularity violations"});
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const std::vector<harness::MetricsReport> runs(
+        reports.begin() + static_cast<std::ptrdiff_t>(c * seeds),
+        reports.begin() + static_cast<std::ptrdiff_t>((c + 1) * seeds));
+    const auto agg = harness::aggregate_metrics(runs);
+    double inversions = 0, reads = 0;
+    for (const auto& r : runs) {
+      inversions += static_cast<double>(r.atomicity.inversion_count);
+      reads += static_cast<double>(r.atomicity.reads_checked);
+    }
+    const double n = static_cast<double>(seeds);
+    table.add_row({Cell::str(cases[c].label),
+                   Cell::num(static_cast<double>(cases[c].gap), 0),
+                   Cell::num(reads / n, 0),
+                   Cell::num(reads > 0 ? 1000.0 * inversions / reads : 0.0, 3),
+                   Cell::num(static_cast<double>(agg.inversions_max_seed), 0),
+                   Cell::num(static_cast<double>(agg.violations_total), 0)});
+  }
+
+  ExperimentResult result;
+  result.sections.push_back(
+      {"inversions", "", std::move(table),
+       "Expected shape (paper): the sync register shows a clearly non-zero\n"
+       "inversion rate at every read density (any read overlapping a write may\n"
+       "independently return the old or new value), with zero regularity\n"
+       "violations throughout; the ABD baseline shows exactly zero inversions\n"
+       "(its read write-back enforces atomicity). The rate itself is noisy in\n"
+       "the read gap — one early new-value read turns every subsequent\n"
+       "old-value read of the same window into an inversion.\n"});
+  return result;
+}
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "new_old_inversion";
+  e.id = "E6";
+  e.title = "new/old inversions — regular, not atomic";
+  e.paper_ref = "Section 1 figure (regularity vs atomicity)";
+  e.grid = "read gap in {1,2,4,8,16} (sync), {1,4} (abd); n=16, delta=12";
+  e.default_seeds = kDefaultSeeds;
+  e.run = run;
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
 
 }  // namespace
-
-int main() {
-  std::cout << "=== E6: new/old inversions — regular, not atomic ===\n";
-  std::cout << "reproduces: Section 1 figure (regularity vs atomicity)\n\n";
-
-  stats::Table table({"protocol", "read gap (ticks)", "reads checked",
-                      "inversions / 1k reads", "regularity violations"});
-
-  for (const sim::Duration gap : {1u, 2u, 4u, 8u, 16u}) {
-    double inversions = 0, reads = 0, violations = 0;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      const auto r = run_once(harness::Protocol::kSync, gap, seed);
-      inversions += static_cast<double>(r.atomicity.inversion_count);
-      reads += static_cast<double>(r.atomicity.reads_checked);
-      violations += static_cast<double>(r.regularity.violations.size());
-    }
-    table.add_row({"sync (regular)", std::to_string(gap),
-                   stats::Table::fmt(reads / 5.0, 0),
-                   stats::Table::fmt(reads > 0 ? 1000.0 * inversions / reads : 0.0, 3),
-                   stats::Table::fmt(violations, 0)});
-  }
-
-  for (const sim::Duration gap : {1u, 4u}) {
-    double inversions = 0, reads = 0, violations = 0;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      const auto r = run_once(harness::Protocol::kAbd, gap, seed);
-      inversions += static_cast<double>(r.atomicity.inversion_count);
-      reads += static_cast<double>(r.atomicity.reads_checked);
-      violations += static_cast<double>(r.regularity.violations.size());
-    }
-    table.add_row({"abd (atomic)", std::to_string(gap),
-                   stats::Table::fmt(reads / 5.0, 0),
-                   stats::Table::fmt(reads > 0 ? 1000.0 * inversions / reads : 0.0, 3),
-                   stats::Table::fmt(violations, 0)});
-  }
-
-  std::cout << table.to_string() << "\n";
-  std::cout << "Expected shape (paper): the sync register shows a clearly non-zero\n"
-               "inversion rate at every read density (any read overlapping a write may\n"
-               "independently return the old or new value), with zero regularity\n"
-               "violations throughout; the ABD baseline shows exactly zero inversions\n"
-               "(its read write-back enforces atomicity). The rate itself is noisy in\n"
-               "the read gap — one early new-value read turns every subsequent\n"
-               "old-value read of the same window into an inversion.\n";
-  return 0;
-}
+}  // namespace dynreg::bench

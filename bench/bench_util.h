@@ -1,9 +1,8 @@
-// Shared helpers for the benchmark binaries: a minimal scripted cluster
-// (mirroring the protocol wiring of the experiment harness) plus printing
-// conveniences.
+// Shared helpers for the scripted experiments: a minimal cluster deployment
+// (mirroring the protocol wiring of the experiment harness) that the bench
+// drives step by step, plus a predicate-pump.
 #pragma once
 
-#include <iostream>
 #include <memory>
 #include <optional>
 
@@ -92,10 +91,5 @@ class ScriptedCluster {
   net::Network net;
   std::unique_ptr<churn::System> system;
 };
-
-inline void print_header(const std::string& title, const std::string& paper_ref) {
-  std::cout << "=== " << title << " ===\n";
-  std::cout << "reproduces: " << paper_ref << "\n\n";
-}
 
 }  // namespace dynreg::bench

@@ -1,0 +1,204 @@
+// dynreg_exp — the unified experiment CLI.
+//
+//   dynreg_exp list
+//       Tabulates every registered experiment: name, paper claim, grid.
+//   dynreg_exp run <name>... [--seeds=N] [--jobs=N] [--format=F] [--out=DIR]
+//   dynreg_exp run --all [options]
+//       Runs experiments. --seeds sets replicas per sweep point (0/omitted:
+//       experiment default); --jobs caps parallel replicas (0: one per
+//       hardware thread; default 0); --format is table (default), json, or
+//       csv; --out writes <name>.json / <name>.csv / <name>.txt files into
+//       DIR instead of stdout.
+//
+// Aggregated results are byte-identical across --jobs values: parallelism
+// only changes wall-clock time, never output (see docs/ARCHITECTURE.md).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "emit.h"
+#include "registry.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace dynreg;
+using bench::Experiment;
+using bench::ExperimentRegistry;
+using bench::RunOptions;
+
+enum class Format { kTable, kJson, kCsv };
+
+int usage(std::ostream& os, int code) {
+  os << "usage: dynreg_exp list\n"
+        "       dynreg_exp run (<name>... | --all) [--seeds=N] [--jobs=N]\n"
+        "                  [--format=table|json|csv] [--out=DIR]\n";
+  return code;
+}
+
+int cmd_list() {
+  stats::Table table({"name", "id", "reproduces", "seeds", "parameter grid"});
+  for (const Experiment* e : ExperimentRegistry::instance().list()) {
+    table.add_row({e->name, e->id, e->paper_ref, std::to_string(e->default_seeds),
+                   e->grid});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+/// Parses "--flag=value"; returns the value when `arg` starts with the flag.
+std::optional<std::string> flag_value(const std::string& arg, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+  return arg.substr(prefix.size());
+}
+
+std::optional<std::size_t> parse_count(const std::string& s) {
+  // Digits only: std::stoul would silently wrap "-1" to SIZE_MAX.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  try {
+    return static_cast<std::size_t>(std::stoul(s));
+  } catch (...) {
+    return std::nullopt;  // out of range
+  }
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  RunOptions opts;
+  opts.jobs = 0;  // parallel by default; output is jobs-independent
+  Format format = Format::kTable;
+  std::optional<std::string> out_dir;
+  std::vector<std::string> names;
+  bool all = false;
+
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "--seeds")) {
+      const auto n = parse_count(*v);
+      if (!n) {
+        std::cerr << "bad --seeds value: " << *v << "\n";
+        return 2;
+      }
+      opts.seeds = *n;
+    } else if (auto v = flag_value(arg, "--jobs")) {
+      const auto n = parse_count(*v);
+      if (!n) {
+        std::cerr << "bad --jobs value: " << *v << "\n";
+        return 2;
+      }
+      opts.jobs = *n;
+    } else if (auto v = flag_value(arg, "--format")) {
+      if (*v == "table") {
+        format = Format::kTable;
+      } else if (*v == "json") {
+        format = Format::kJson;
+      } else if (*v == "csv") {
+        format = Format::kCsv;
+      } else {
+        std::cerr << "bad --format value: " << *v << " (table|json|csv)\n";
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "--out")) {
+      out_dir = *v;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  std::vector<const Experiment*> todo;
+  if (all) {
+    todo = ExperimentRegistry::instance().list();
+  } else {
+    if (names.empty()) return usage(std::cerr, 2);
+    for (const std::string& name : names) {
+      const Experiment* e = ExperimentRegistry::instance().find(name);
+      if (e == nullptr) {
+        std::cerr << "unknown experiment: " << name << " (see `dynreg_exp list`)\n";
+        return 1;
+      }
+      todo.push_back(e);
+    }
+  }
+
+  if (out_dir) std::filesystem::create_directories(*out_dir);
+
+  // Multiple JSON documents on one stdout stream would not parse as a
+  // whole; wrap them in a top-level array.
+  const bool wrap_json = format == Format::kJson && !out_dir && todo.size() > 1;
+  if (wrap_json) std::cout << "[\n";
+  bool first = true;
+
+  for (const Experiment* e : todo) {
+    const std::size_t seeds = bench::effective_seeds(*e, opts);
+    const bench::ExperimentResult result = bench::run_resolved(*e, opts);
+
+    std::string payload;
+    std::string extension;
+    switch (format) {
+      case Format::kTable: {
+        if (!out_dir) {
+          print_console(*e, result, std::cout);
+          continue;
+        }
+        std::ostringstream os;
+        print_console(*e, result, os);
+        payload = os.str();
+        extension = ".txt";
+        break;
+      }
+      case Format::kJson:
+        payload = bench::to_json(*e, seeds, result);
+        extension = ".json";
+        break;
+      case Format::kCsv:
+        payload = bench::to_csv(result);
+        extension = ".csv";
+        break;
+    }
+    if (out_dir) {
+      const std::filesystem::path path =
+          std::filesystem::path(*out_dir) / (e->name + extension);
+      std::ofstream file(path, std::ios::binary);
+      if (!file) {
+        std::cerr << "cannot write " << path.string() << "\n";
+        return 1;
+      }
+      file << payload;
+      std::cerr << "wrote " << path.string() << "\n";
+    } else {
+      if (wrap_json) {
+        if (!first) std::cout << ",\n";
+        while (!payload.empty() && payload.back() == '\n') payload.pop_back();
+      }
+      std::cout << payload;
+      if (wrap_json) std::cout << "\n";
+      first = false;
+    }
+  }
+  if (wrap_json) std::cout << "]\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+  if (args[0] == "list") return cmd_list();
+  if (args[0] == "run") return cmd_run({args.begin() + 1, args.end()});
+  if (args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+    return usage(std::cout, 0);
+  }
+  std::cerr << "unknown command: " << args[0] << "\n";
+  return usage(std::cerr, 2);
+}

@@ -1,0 +1,61 @@
+#include "emit.h"
+
+#include <ostream>
+
+#include "stats/json_writer.h"
+
+namespace dynreg::bench {
+
+void print_console(const Experiment& e, const ExperimentResult& r, std::ostream& os) {
+  os << "=== " << e.id << ": " << e.title << " ===\n";
+  os << "reproduces: " << e.paper_ref << "\n\n";
+  for (const auto& section : r.sections) {
+    if (!section.title.empty()) os << "-- " << section.title << " --\n";
+    os << section.table.to_text() << "\n";
+    if (!section.note.empty()) os << section.note << "\n";
+  }
+}
+
+std::string to_json(const Experiment& e, std::size_t seeds, const ExperimentResult& r) {
+  stats::JsonWriter w;
+  w.begin_object();
+  w.key("experiment");
+  w.value(e.name);
+  w.key("id");
+  w.value(e.id);
+  w.key("title");
+  w.value(e.title);
+  w.key("paper_ref");
+  w.value(e.paper_ref);
+  w.key("seeds");
+  w.value(static_cast<std::uint64_t>(e.uses_seeds ? seeds : 1));
+  w.key("sections");
+  w.begin_array();
+  for (const auto& section : r.sections) {
+    w.begin_object();
+    w.key("name");
+    w.value(section.name);
+    if (!section.title.empty()) {
+      w.key("title");
+      w.value(section.title);
+    }
+    section.table.append_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string doc = w.str();
+  doc += '\n';
+  return doc;
+}
+
+std::string to_csv(const ExperimentResult& r) {
+  std::string out;
+  for (const auto& section : r.sections) {
+    out += "# section: " + section.name + "\n";
+    out += section.table.to_csv();
+  }
+  return out;
+}
+
+}  // namespace dynreg::bench

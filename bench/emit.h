@@ -1,0 +1,29 @@
+// Output formats for experiment results: console tables (the classic bench
+// look), JSON documents, and CSV.
+//
+// JSON/CSV never embed execution details (worker count, wall-clock time),
+// so two runs of the same experiment with the same seeds serialize to the
+// same bytes whatever --jobs was — the property the determinism acceptance
+// test pins down.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "registry.h"
+
+namespace dynreg::bench {
+
+/// Prints the classic console rendering: header, per-section tables, notes.
+void print_console(const Experiment& e, const ExperimentResult& r, std::ostream& os);
+
+/// The whole result as one JSON document:
+///   {"experiment", "id", "title", "paper_ref", "seeds",
+///    "sections": [{"name", "columns", "rows", ...}]}
+std::string to_json(const Experiment& e, std::size_t seeds, const ExperimentResult& r);
+
+/// All sections as CSV; each section is preceded by a `# section: <name>`
+/// comment line (single-section results are plain CSV after one comment).
+std::string to_csv(const ExperimentResult& r);
+
+}  // namespace dynreg::bench

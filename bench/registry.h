@@ -1,0 +1,102 @@
+// The experiment registry: one place where every paper-reproduction
+// experiment declares its name, the claim it reproduces, its parameter
+// grid, and a run function. The dynreg_exp CLI and the per-experiment
+// standalone binaries are both thin drivers over this table.
+//
+// Run functions receive RunOptions (seed count, worker count) and return
+// structured sections (stats::DataTable) instead of printing — the driver
+// chooses the output format (console table, JSON, CSV). Determinism
+// contract: for a fixed seed count the returned result is byte-identically
+// serializable regardless of `jobs`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/data_table.h"
+
+namespace dynreg::bench {
+
+/// CLI-controlled execution knobs handed to every experiment run function.
+struct RunOptions {
+  /// Seeds (replicas) per sweep point; 0 means the experiment's default.
+  /// Drivers resolve the default via run_resolved() before invoking run, so
+  /// run functions see a nonzero value (they fall back to 1 if called
+  /// directly with 0). Scripted scenario experiments (deterministic
+  /// constructions, no seed dimension) ignore this.
+  std::size_t seeds = 0;
+  /// Max replicas in flight at once; 0 means one per hardware thread.
+  std::size_t jobs = 1;
+};
+
+/// One table of results plus the paper-shape commentary attached to it.
+struct ResultSection {
+  /// Stable snake_case identifier (used for CSV file names and JSON keys).
+  std::string name;
+  /// Optional human heading printed above the table ("" for the main section).
+  std::string title;
+  stats::DataTable table;
+  /// "Expected shape (paper): ..." commentary; console output only.
+  std::string note;
+};
+
+struct ExperimentResult {
+  std::vector<ResultSection> sections;
+};
+
+/// A registered experiment: metadata for `dynreg_exp list` plus the run fn.
+struct Experiment {
+  std::string name;       ///< CLI name, e.g. "sync_churn_sweep".
+  std::string id;         ///< Paper-experiment tag, e.g. "E3".
+  std::string title;      ///< One-line description.
+  std::string paper_ref;  ///< The claim reproduced, e.g. "Theorem 1, Section 3".
+  std::string grid;       ///< Human summary of the parameter grid swept.
+  std::size_t default_seeds = 3;
+  /// False for scripted deterministic constructions whose run function
+  /// ignores RunOptions::seeds (E1, E2, E5); emitted metadata then reports
+  /// 1 replica instead of echoing a seed count that had no effect.
+  bool uses_seeds = true;
+  std::function<ExperimentResult(const RunOptions&)> run;
+};
+
+/// Process-wide experiment table. Experiments self-register at static
+/// initialization time via Registrar; the bench sources are compiled into
+/// an OBJECT library so no registration is dropped by the linker.
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& instance();
+
+  void add(Experiment e);
+
+  /// Looks an experiment up by CLI name; nullptr when unknown.
+  const Experiment* find(const std::string& name) const;
+
+  /// All experiments, ordered by id then name (E1, E2, ... — the paper's
+  /// presentation order).
+  std::vector<const Experiment*> list() const;
+
+ private:
+  std::map<std::string, Experiment> by_name_;
+};
+
+/// `static Registrar r{exp};` at namespace scope registers `exp`.
+struct Registrar {
+  explicit Registrar(Experiment e);
+};
+
+/// The seed count a run will actually use (opts.seeds, defaulted).
+std::size_t effective_seeds(const Experiment& e, const RunOptions& opts);
+
+/// Invokes e.run with opts.seeds resolved via effective_seeds — the one
+/// place the default is applied, so run functions just read opts.seeds and
+/// the "seeds" metadata the emitters report always matches what ran.
+ExperimentResult run_resolved(const Experiment& e, RunOptions opts);
+
+/// Runs `name` with default options and console-table output; the whole
+/// body of every bench_* compatibility binary. Returns a process exit code.
+int run_standalone(const std::string& name);
+
+}  // namespace dynreg::bench

@@ -1,0 +1,14 @@
+// Shared main() for the per-experiment compatibility binaries
+// (bench_sync_churn_sweep, bench_fig3_join_wait, ...). Each target compiles
+// this file with -DDYNREG_EXPERIMENT="<name>" and runs that one registry
+// entry with default options and console-table output — the same format
+// the pre-registry standalone benches printed (exact numbers differ where
+// seed derivation was unified on replica_seed() and tables gained the
+// non-averaged violation columns). `dynreg_exp` is the full CLI.
+#include "registry.h"
+
+#ifndef DYNREG_EXPERIMENT
+#error "define DYNREG_EXPERIMENT to the registered experiment name"
+#endif
+
+int main() { return dynreg::bench::run_standalone(DYNREG_EXPERIMENT); }

@@ -33,9 +33,14 @@ class History {
   /// that began and completed at time 0 before everything else.
   explicit History(Value initial);
 
+  /// Records a write invocation; returns the id to pass to complete_write.
+  /// Writes that never complete stay open (end unset) and are treated as
+  /// concurrent with everything after their begin.
   OpId begin_write(sim::ProcessId writer, sim::Time at, Value v);
   void complete_write(OpId id, sim::Time at);
 
+  /// Records a read invocation; the returned value is supplied at
+  /// completion time (reads that never complete are never checked).
   OpId begin_read(sim::ProcessId reader, sim::Time at);
   void complete_read(OpId id, sim::Time at, Value v);
 

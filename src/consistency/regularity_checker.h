@@ -45,6 +45,9 @@ struct RegularityReport {
 
 class RegularityChecker {
  public:
+  /// Checks every completed read in `history` against the generalized
+  /// regular-register predicate; pure function of the history, safe to run
+  /// concurrently on different histories.
   RegularityReport check(const History& history) const;
 };
 
@@ -55,6 +58,7 @@ struct InversionReport {
 
 class AtomicityChecker {
  public:
+  /// Counts new/old inversions among completed, non-concurrent read pairs.
   InversionReport check(const History& history) const;
 };
 

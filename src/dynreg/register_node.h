@@ -8,6 +8,11 @@
 
 namespace dynreg {
 
+/// Common interface of the register protocols (sync, ES, ABD). Operations
+/// are asynchronous: they return immediately and signal completion through
+/// the supplied callback, which runs inside the simulation (same virtual
+/// time discipline as any event). If the node departs mid-operation the
+/// callback is dropped with its timers — callers must not rely on it firing.
 class RegisterNode : public node::Node {
  public:
   using ReadCallback = std::function<void(Value)>;
@@ -25,7 +30,8 @@ class RegisterNode : public node::Node {
   /// The process's current local copy (kBottom before a join adopts one).
   virtual Value local_value() const = 0;
 
-  /// Whether this process's join has completed.
+  /// Whether this process's join has completed (bootstrap members are
+  /// active from construction).
   virtual bool is_active() const = 0;
 };
 

@@ -1,0 +1,66 @@
+// Cross-seed aggregation of MetricsReports.
+//
+// A sweep point runs the same configuration under many seeds; this module
+// condenses those per-seed MetricsReports into distribution summaries
+// (mean/stddev/min/max/p50/p99) without losing the signals that must not be
+// averaged: safety violations are reported as a total across seeds and as
+// the worst single seed, because "0.3 mean violations" hides the one seed
+// where the register broke.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "harness/metrics.h"
+
+namespace dynreg::harness {
+
+/// Distribution summary of one metric over the seeds of a sweep point.
+struct Aggregate {
+  double mean = 0.0;
+  /// Sample standard deviation (n-1 denominator); 0 when fewer than 2 samples.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Percentiles by the nearest-rank convention used for per-run latency
+  /// percentiles: sorted[min(n-1, floor(p*n))].
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarizes `samples` (order irrelevant). An empty vector yields all zeros.
+Aggregate aggregate(std::vector<double> samples);
+
+/// Everything dynreg_exp reports per sweep point: one Aggregate per scalar
+/// metric, plus the non-averageable safety counters.
+struct AggregatedMetrics {
+  std::size_t seeds = 0;
+
+  Aggregate read_completion;
+  Aggregate write_completion;
+  Aggregate join_completion;
+  Aggregate read_latency;       // over per-seed means
+  Aggregate read_latency_p99;   // over per-seed p99s
+  Aggregate write_latency;
+  Aggregate join_latency;
+  Aggregate violation_rate;
+  Aggregate reads_of_bottom;
+  Aggregate min_active_3delta;
+
+  /// Regularity violations summed over every seed. Any nonzero value means
+  /// some run's register was unsafe, however good the mean rate looks.
+  std::uint64_t violations_total = 0;
+  /// Worst single seed — the adversary's best draw.
+  std::uint64_t violations_max_seed = 0;
+  /// New/old inversions, same non-averaged treatment.
+  std::uint64_t inversions_total = 0;
+  std::uint64_t inversions_max_seed = 0;
+  /// Fraction of seeds in which |A(t)| > n/2 held throughout the run.
+  double majority_active_fraction = 0.0;
+};
+
+/// Aggregates the per-seed reports of one sweep point.
+AggregatedMetrics aggregate_metrics(const std::vector<MetricsReport>& runs);
+
+}  // namespace dynreg::harness

@@ -13,42 +13,55 @@
 
 namespace dynreg::harness {
 
+/// Which register protocol a run deploys.
 enum class Protocol {
-  kSync,            // Section 3 (synchronous, fast local reads)
-  kSyncNoWait,      // Figure 3a ablation: join inquires without the delta wait
-  kEventuallySync,  // Section 5 (quorum-based)
-  kAbd,             // static-membership baseline
+  kSync,            ///< Section 3 (synchronous, fast local reads).
+  kSyncNoWait,      ///< Figure 3a ablation: join inquires without the delta wait.
+  kEventuallySync,  ///< Section 5 (quorum-based).
+  kAbd,             ///< Static-membership baseline (Attiya, Bar-Noy, Dolev).
 };
 
+/// The timing model the network's delay model implements.
 enum class Timing {
-  kSynchronous,            // all delays in [1, delta]
-  kEventuallySynchronous,  // arbitrary before gst, delta-bounded after
+  kSynchronous,            ///< All delays in [1, delta].
+  kEventuallySynchronous,  ///< Arbitrary (bounded by pre_gst_max) before gst,
+                           ///< delta-bounded after.
 };
 
+/// Membership dynamics: a static member set or the paper's constant churn.
 enum class ChurnKind { kNone, kConstant };
 
+/// Everything that determines a run. A (config, seed) pair fully determines
+/// the resulting MetricsReport, bit for bit (see docs/ARCHITECTURE.md,
+/// "Determinism contract").
 struct ExperimentConfig {
   Protocol protocol = Protocol::kSync;
   Timing timing = Timing::kSynchronous;
 
-  std::size_t n = 10;          // constant system size
-  sim::Duration delta = 5;     // network delay bound (post-GST, for ES)
-  sim::Time duration = 1000;   // run horizon, in ticks
-  std::uint64_t seed = 1;
+  std::size_t n = 10;          ///< Constant system size (paper: joins == leaves).
+  sim::Duration delta = 5;     ///< Network delay bound (post-GST, for ES).
+  sim::Time duration = 1000;   ///< Run horizon, in ticks.
+  std::uint64_t seed = 1;      ///< The run's only randomness source.
 
   ChurnKind churn_kind = ChurnKind::kConstant;
-  double churn_rate = 0.0;     // fraction of n joining (and leaving) per tick
+  /// Fraction of n joining (and leaving) per tick — the paper's c.
+  double churn_rate = 0.0;
   churn::LeavePolicy leave_policy = churn::LeavePolicy::kUniform;
 
-  sim::Time gst = 0;                // stabilization time (ES timing)
-  sim::Duration pre_gst_max = 100;  // max pre-GST delay (finiteness bound)
-  double loss_rate = 0.0;           // omission-fault rate
+  sim::Time gst = 0;                ///< Stabilization time (ES timing only).
+  sim::Duration pre_gst_max = 100;  ///< Max pre-GST delay (finiteness bound).
+  double loss_rate = 0.0;           ///< Omission-fault rate per message copy.
 
+  /// ES reads write back the returned value (regular -> atomic upgrade).
   bool es_atomic_reads = false;
-  std::optional<sim::Duration> sync_delta_pp;        // footnote 4 join window
-  std::optional<sim::Duration> sync_refresh_interval;  // anti-entropy extension
+  /// Footnote 4: known one-way reply bound delta', shrinking the join's
+  /// collection window from 2*delta to delta + delta'.
+  std::optional<sim::Duration> sync_delta_pp;
+  /// Anti-entropy extension: active processes rebroadcast their copy every
+  /// interval (heals replicas behind lossy channels; not in the paper).
+  std::optional<sim::Duration> sync_refresh_interval;
 
-  workload::Config workload;
+  workload::Config workload;  ///< Open-loop read/write traffic description.
 
   /// Theorem 1's sufficient churn bound for the synchronous protocol.
   double sync_churn_threshold() const { return 1.0 / (3.0 * static_cast<double>(delta)); }
@@ -58,6 +71,11 @@ struct ExperimentConfig {
   }
 };
 
+/// Runs one replica to completion: deploys `config.protocol` over the
+/// churn/network substrate, applies the workload until `config.duration`,
+/// then harvests metrics and runs the consistency checkers over the
+/// recorded history. Self-contained and thread-compatible: concurrent calls
+/// share no state, which is what the parallel sweep engine exploits.
 MetricsReport run_experiment(const ExperimentConfig& config);
 
 }  // namespace dynreg::harness

@@ -10,10 +10,16 @@
 
 namespace dynreg::harness {
 
+/// Everything measured in one run. Produced by run_experiment; cross-seed
+/// summaries live in harness/aggregate.h (which never averages the safety
+/// counters away).
 struct MetricsReport {
-  // Operations.
+  // Operations (issued by the workload driver; completion = callback fired
+  // before the horizon).
   std::uint64_t reads_issued = 0;
   std::uint64_t reads_completed = 0;
+  /// Completed reads that returned kBottom — for survival-mode experiments
+  /// this measures information death directly.
   std::uint64_t reads_of_bottom = 0;
   std::uint64_t writes_issued = 0;
   std::uint64_t writes_completed = 0;
@@ -26,6 +32,7 @@ struct MetricsReport {
 
   // Latencies (ticks; means over completed operations).
   double read_latency_mean = 0.0;
+  /// Nearest-rank p99 over this run's completed reads.
   double read_latency_p99 = 0.0;
   double write_latency_mean = 0.0;
   double join_latency_mean = 0.0;
@@ -35,10 +42,13 @@ struct MetricsReport {
   /// min over t of |A(t, t + 3*delta)| — Lemma 2's quantity.
   double min_active_3delta = 0.0;
 
-  /// Delivered message copies per wire-type tag.
+  /// Delivered message copies per wire-type tag (see dynreg/messages.h for
+  /// the tag vocabulary).
   std::map<std::string, std::uint64_t> msgs_by_type;
 
+  /// Stale-read check over the recorded history (Theorem 1's property).
   consistency::RegularityReport regularity;
+  /// New/old inversion count (regular-vs-atomic distinction, Section 1).
   consistency::InversionReport atomicity;
 
   double read_completion_rate() const {

@@ -1,25 +1,51 @@
 #include "harness/sweep.h"
 
+#include "harness/thread_pool.h"
+
 namespace dynreg::harness {
+
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t index) {
+  // Keep the original (PR 1) derivation so historical outputs stay valid.
+  return base_seed + (static_cast<std::uint64_t>(index) + 1) * 1009;
+}
+
+std::vector<MetricsReport> run_replicas(const ExperimentConfig& base, std::size_t seeds,
+                                        std::size_t jobs) {
+  std::vector<MetricsReport> runs(seeds);
+  parallel_for(jobs, seeds, [&](std::size_t s) {
+    ExperimentConfig cfg = base;
+    cfg.seed = replica_seed(base.seed, s);
+    runs[s] = run_experiment(cfg);
+  });
+  return runs;
+}
+
+std::vector<SweepPoint> parallel_sweep(
+    const ExperimentConfig& base, const std::vector<double>& xs,
+    const std::function<void(ExperimentConfig&, double)>& configure, std::size_t seeds,
+    std::size_t jobs) {
+  std::vector<SweepPoint> points(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    points[i].x = xs[i];
+    points[i].runs.resize(seeds);
+  }
+  // Flatten the (x, seed) grid: every replica gets a pre-assigned slot, so
+  // the assembled result is independent of scheduling.
+  parallel_for(jobs, xs.size() * seeds, [&](std::size_t task) {
+    const std::size_t xi = task / seeds;
+    const std::size_t s = task % seeds;
+    ExperimentConfig cfg = base;
+    configure(cfg, xs[xi]);
+    cfg.seed = replica_seed(base.seed, s);
+    points[xi].runs[s] = run_experiment(cfg);
+  });
+  return points;
+}
 
 std::vector<SweepPoint> sweep(const ExperimentConfig& base, const std::vector<double>& xs,
                               const std::function<void(ExperimentConfig&, double)>& configure,
                               std::size_t seeds) {
-  std::vector<SweepPoint> points;
-  points.reserve(xs.size());
-  for (const double x : xs) {
-    SweepPoint point;
-    point.x = x;
-    point.runs.reserve(seeds);
-    for (std::size_t s = 0; s < seeds; ++s) {
-      ExperimentConfig cfg = base;
-      configure(cfg, x);
-      cfg.seed = base.seed + (s + 1) * 1009;
-      point.runs.push_back(run_experiment(cfg));
-    }
-    points.push_back(std::move(point));
-  }
-  return points;
+  return parallel_sweep(base, xs, configure, seeds, /*jobs=*/1);
 }
 
 }  // namespace dynreg::harness

@@ -1,10 +1,18 @@
 // Parameter sweeps: run a base experiment at several values of one knob,
 // each over several seeds, and expose per-point aggregates.
+//
+// The parallel engine runs the (x, seed) grid on a ThreadPool. Each replica
+// owns its whole world — Simulation, Rng, Network, nodes — so runs never
+// share mutable state, and every replica writes its MetricsReport into a
+// pre-assigned slot. The collected output is therefore byte-identical for
+// any worker count: parallelism changes wall-clock time only.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "harness/aggregate.h"
 #include "harness/experiment.h"
 #include "harness/metrics.h"
 
@@ -19,9 +27,13 @@ double mean_of(const std::vector<MetricsReport>& runs, Fn fn) {
   return total / static_cast<double>(runs.size());
 }
 
+/// One swept knob value with its per-seed runs.
 struct SweepPoint {
   double x = 0.0;                    // the swept knob's value
-  std::vector<MetricsReport> runs;   // one per seed
+  std::vector<MetricsReport> runs;   // one per seed, in seed order
+
+  /// Full cross-seed distribution summary (see harness/aggregate.h).
+  AggregatedMetrics aggregate() const { return aggregate_metrics(runs); }
 
   double mean_violation_rate() const {
     return mean_of(runs, [](const MetricsReport& r) { return r.regularity.violation_rate(); });
@@ -49,9 +61,28 @@ struct SweepPoint {
   }
 };
 
-/// Runs `base` once per (x, seed) pair; `configure` applies x to a copy of
-/// the base config before each run. Seeds are derived deterministically from
-/// the base seed.
+/// The seed used for replica `index` of a sweep/replica set rooted at
+/// `base_seed`. Part of the determinism contract: results are identified by
+/// (config, replica_seed(base, i)), never by execution order.
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Runs `seeds` replicas of `base` (differing only in seed) across up to
+/// `jobs` worker threads (0 = one per hardware thread). The result vector is
+/// in seed order regardless of jobs.
+std::vector<MetricsReport> run_replicas(const ExperimentConfig& base, std::size_t seeds,
+                                        std::size_t jobs);
+
+/// Runs `base` once per (x, seed) pair, `configure` applying x to a copy of
+/// the base config before each run, with up to `jobs` replicas in flight at
+/// once (0 = one per hardware thread). Point and run order match the inputs
+/// regardless of jobs. `configure` must be safe to call concurrently (it
+/// only ever mutates the private copy it is handed).
+std::vector<SweepPoint> parallel_sweep(
+    const ExperimentConfig& base, const std::vector<double>& xs,
+    const std::function<void(ExperimentConfig&, double)>& configure, std::size_t seeds,
+    std::size_t jobs);
+
+/// Single-threaded sweep; identical output to parallel_sweep(..., jobs=1).
 std::vector<SweepPoint> sweep(const ExperimentConfig& base, const std::vector<double>& xs,
                               const std::function<void(ExperimentConfig&, double)>& configure,
                               std::size_t seeds);

@@ -8,11 +8,16 @@
 
 namespace dynreg::workload {
 
+/// Who writes.
 enum class WriterMode {
-  kSingle,      // the paper's model: one designated writer (process 0)
-  kConcurrent,  // Section 7 extension: several simultaneous writers
+  kSingle,      ///< The paper's model: one designated writer (process 0).
+  kConcurrent,  ///< Section 7 extension: several simultaneous writers.
 };
 
+/// Open-loop traffic description. Writers are pinned (exempt from churn,
+/// as in the paper where the writer stays in the system) unless writes are
+/// disabled — then nobody is exempt and the register value must survive
+/// churn on its own.
 struct Config {
   /// A read is issued from a uniformly random active process every interval.
   sim::Duration read_interval = 10;

@@ -1,0 +1,126 @@
+#include "stats/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dynreg::stats {
+
+std::string JsonWriter::format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == 0.0) v = 0.0;  // normalize -0.0
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(2 * has_items_.size(), ' ');
+}
+
+void JsonWriter::begin_value() {
+  // Position the cursor for a new value: top-level and after-key values go
+  // right here; container members get a comma (when not first) + newline.
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (has_items_.empty()) return;
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had_items = has_items_.back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had_items = has_items_.back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  newline_indent();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  begin_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  begin_value();
+  out_ += format_double(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+}
+
+}  // namespace dynreg::stats

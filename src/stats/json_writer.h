@@ -1,0 +1,68 @@
+// Minimal streaming JSON writer with deterministic number formatting.
+//
+// The sweep engine's determinism guarantee extends to emitted artifacts:
+// the same aggregated values must serialize to the same bytes whatever the
+// worker count or platform. Doubles are therefore formatted as the shortest
+// decimal string that round-trips (std::to_chars), never via locale- or
+// precision-dependent iostreams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynreg::stats {
+
+/// Streaming writer producing pretty-printed (2-space indent) JSON.
+///
+/// Usage mirrors the document structure:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("sweep");
+///   w.key("points"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+///
+/// The writer trusts the caller to emit a well-formed sequence (keys only
+/// inside objects, matched begin/end); it only manages commas, indentation,
+/// and escaping.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; must be followed by a value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// The finished document (call after the final end_*).
+  const std::string& str() const { return out_; }
+
+  /// Shortest round-trip decimal representation; "null" for NaN/inf (JSON
+  /// has no spelling for them).
+  static std::string format_double(double v);
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string escape(std::string_view s);
+
+ private:
+  void begin_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<bool> has_items_;  // per open container: anything emitted yet?
+  bool after_key_ = false;
+};
+
+}  // namespace dynreg::stats

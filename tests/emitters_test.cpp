@@ -1,0 +1,98 @@
+// Golden tests for the machine-readable emitters: JSON writer formatting
+// and escaping, DataTable JSON/CSV renderings.
+#include <gtest/gtest.h>
+
+#include "stats/data_table.h"
+#include "stats/json_writer.h"
+
+namespace dynreg::stats {
+namespace {
+
+TEST(JsonWriter, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(JsonWriter::format_double(0.2), "0.2");
+  EXPECT_EQ(JsonWriter::format_double(3.0), "3");
+  EXPECT_EQ(JsonWriter::format_double(-0.0), "0");
+  EXPECT_EQ(JsonWriter::format_double(0.1 + 0.2), "0.30000000000000004");
+  EXPECT_EQ(JsonWriter::format_double(1.0 / 3.0), "0.3333333333333333");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonWriter::format_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonWriter::format_double(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, GoldenDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("e1");
+  w.key("xs");
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::uint64_t{7});
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.key("empty");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"name\": \"e1\",\n"
+            "  \"xs\": [\n"
+            "    1.5,\n"
+            "    7,\n"
+            "    true,\n"
+            "    null\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}");
+}
+
+DataTable sample_table() {
+  DataTable t({"label", "value", "with,comma"});
+  t.add_row({Cell::str("plain"), Cell::num(0.5, 2), Cell::str("quote\"inside")});
+  t.add_row({Cell::str("second"), Cell::num(12.0), Cell::str("multi\nline")});
+  return t;
+}
+
+TEST(DataTable, CsvQuotesSpecialFields) {
+  EXPECT_EQ(sample_table().to_csv(),
+            "label,value,\"with,comma\"\n"
+            "plain,0.5,\"quote\"\"inside\"\n"
+            "second,12,\"multi\nline\"\n");
+}
+
+TEST(DataTable, TextUsesDisplayPrecision) {
+  const std::string text = sample_table().to_text();
+  EXPECT_NE(text.find("0.50"), std::string::npos);  // precision 2
+  EXPECT_NE(text.find("12"), std::string::npos);    // shortest form
+}
+
+TEST(DataTable, JsonKeepsNumbersTyped) {
+  JsonWriter w;
+  w.begin_object();
+  sample_table().append_json(w);
+  w.end_object();
+  const std::string doc = w.str();
+  // Numbers are emitted bare (full fidelity), strings quoted.
+  EXPECT_NE(doc.find("\"plain\",\n      0.5,"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"columns\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rows\""), std::string::npos);
+}
+
+TEST(DataTable, RowCountAndColumnsAccessible)
+{
+  const DataTable t = sample_table();
+  EXPECT_EQ(t.columns().size(), 3u);
+  EXPECT_EQ(t.rows().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dynreg::stats
