@@ -7,6 +7,7 @@
 //  (c) The reliable-channel assumption: what breaks first under omission
 //      faults, per protocol.
 #include "bench_util.h"
+#include "dynreg/messages.h"
 #include "harness/sweep.h"
 #include "harness/thread_pool.h"
 #include "registry.h"
@@ -27,9 +28,9 @@ std::unique_ptr<net::DelayModel> inversion_adversary() {
   return std::make_unique<net::AsyncAdversarialDelay>(
       200, [](sim::Time, sim::ProcessId from, sim::ProcessId to,
               const net::Payload& p) -> std::optional<sim::Duration> {
-        const std::string_view type = p.type_name();
-        if (type == "es.write" && to >= 2) return 100;
-        if (type == "es.reply" && (from == 0 || from == 1) && to == 2) return 100;
+        const net::PayloadTypeId type = p.type_id();
+        if (type == msg::EsWrite::kTypeId && to >= 2) return 100;
+        if (type == msg::EsReply::kTypeId && (from == 0 || from == 1) && to == 2) return 100;
         return 2;
       });
 }

@@ -12,6 +12,7 @@
 // inside the write window; the paper's protocol (Figure 3b) never does.
 // This is a scripted deterministic construction: --seeds has no effect.
 #include "bench_util.h"
+#include "dynreg/messages.h"
 #include "harness/thread_pool.h"
 #include "registry.h"
 
@@ -40,10 +41,10 @@ Outcome run_scenario(bool wait_before_inquiry, sim::Duration joiner_offset) {
   auto delays = std::make_unique<net::AsyncAdversarialDelay>(
       kDelta, [](sim::Time, sim::ProcessId from, sim::ProcessId to,
                  const net::Payload& p) -> std::optional<sim::Duration> {
-        const std::string_view type = p.type_name();
-        if (type == "sync.write") return kDelta;
-        if (type == "sync.inquiry" && to == 0) return kDelta;
-        if (type == "sync.reply" && from == 0) return kDelta;
+        const net::PayloadTypeId type = p.type_id();
+        if (type == msg::SyncWrite::kTypeId) return kDelta;
+        if (type == msg::SyncInquiry::kTypeId && to == 0) return kDelta;
+        if (type == msg::SyncReply::kTypeId && from == 0) return kDelta;
         return 1;
       });
   auto cluster = ScriptedCluster::sync(3, 3, 0.0, cfg, std::move(delays));

@@ -8,6 +8,8 @@
 // the registered experiments to the paper.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "consistency/regularity_checker.h"
 #include "harness/experiment.h"
 #include "net/network.h"
@@ -30,7 +32,27 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Random times spread far beyond the wheel window, so pushes constantly land
+// in the far (heap) tier — the queue's worst case, kept honest here.
+void BM_EventQueuePushPopFarSpread(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;  // cheap deterministic scramble
+    for (std::size_t i = 0; i < batch; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      q.push(static_cast<sim::Time>(x % (64 * sim::EventQueue::kWindow)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPopFarSpread)->Arg(10000);
 
 void BM_SimulationEventChain(benchmark::State& state) {
   const auto events = static_cast<std::uint64_t>(state.range(0));
@@ -51,6 +73,12 @@ BENCHMARK(BM_SimulationEventChain)->Arg(10000);
 
 struct NoopPayload final : net::Payload {
   std::string_view type_name() const override { return "noop"; }
+  // Cached like the real protocol messages, so the benchmark measures the
+  // dispatch path, not the registry's default per-call interning.
+  net::PayloadTypeId type_id() const override {
+    static const net::PayloadTypeId id = net::PayloadTypeRegistry::intern("noop");
+    return id;
+  }
 };
 
 void BM_NetworkBroadcast(benchmark::State& state) {
@@ -68,7 +96,7 @@ void BM_NetworkBroadcast(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n) * 10);
 }
-BENCHMARK(BM_NetworkBroadcast)->Arg(100)->Arg(1000);
+BENCHMARK(BM_NetworkBroadcast)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_RegularityChecker(benchmark::State& state) {
   const auto reads = static_cast<std::size_t>(state.range(0));
@@ -110,6 +138,27 @@ void BM_FullSyncExperiment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSyncExperiment)->Unit(benchmark::kMillisecond);
+
+// One replica of the registered es_churn_sweep experiment (E4) at the
+// paper's churn constraint — the end-to-end unit the seed-parallel sweep
+// engine multiplies across seeds and grid points.
+void BM_EsChurnSweepReplica(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.protocol = harness::Protocol::kEventuallySync;
+    cfg.timing = harness::Timing::kEventuallySynchronous;
+    cfg.gst = 0;
+    cfg.n = 21;
+    cfg.delta = 5;
+    cfg.duration = 5000;
+    cfg.workload.read_interval = 10;
+    cfg.workload.write_interval = 60;
+    cfg.churn_rate = cfg.es_churn_threshold();
+    const auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.reads_completed);
+  }
+}
+BENCHMARK(BM_EsChurnSweepReplica)->Unit(benchmark::kMillisecond);
 
 void BM_FullEsExperiment(benchmark::State& state) {
   for (auto _ : state) {

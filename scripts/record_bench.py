@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Regenerates BENCH_micro.json from the dynreg_micro google-benchmark binary.
+
+The checked-in BENCH_micro.json is the repo's performance trajectory: a
+"baseline" section (numbers recorded on the substrate of a previous PR) plus
+a "current" section (this tree), with items/sec speedups computed for every
+benchmark present in both. Numbers are only meaningful under the `release`
+CMake preset (O2 + NDEBUG); see docs/PERFORMANCE.md.
+
+Typical regeneration:
+
+    cmake --preset release && cmake --build --preset release -j
+    python3 scripts/record_bench.py \
+        --bench build/release/bench_micro \
+        --exp build/release/dynreg_exp \
+        --out BENCH_micro.json
+
+The existing file's "baseline" section is preserved so the before/after
+comparison survives regeneration. Pass --rebaseline to promote the freshly
+measured numbers to the new baseline (e.g. at the start of a new perf PR).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def run_google_benchmark(bench, min_time, repetitions):
+    cmd = [
+        bench,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if repetitions > 1:
+        cmd += [
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_report_aggregates_only=true",
+        ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True).stdout
+    raw = json.loads(out)
+    results = {}
+    for b in raw.get("benchmarks", []):
+        name = b["name"]
+        # With aggregate reporting keep only the median rows, stripped back
+        # to the plain benchmark name.
+        if repetitions > 1:
+            if b.get("aggregate_name") != "median":
+                continue
+            name = name.rsplit("_median", 1)[0]
+        entry = {
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        results[name] = entry
+    return results, raw.get("context", {})
+
+
+def time_end_to_end(exp):
+    """Wall-clock of the full sweep the PR-3 engine parallelizes."""
+    argv = [exp, "run", "sync_churn_sweep", "--seeds=8", "--jobs=8", "--format=json"]
+    start = time.monotonic()
+    subprocess.run(argv, check=True, stdout=subprocess.DEVNULL)
+    seconds = time.monotonic() - start
+    return {"command": " ".join(argv[1:]), "wall_seconds": round(seconds, 2)}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench", required=True, help="path to the bench_micro binary")
+    ap.add_argument("--exp", help="path to dynreg_exp; adds an end-to-end sweep timing")
+    ap.add_argument("--out", default="BENCH_micro.json")
+    ap.add_argument("--min-time", default="0.2",
+                    help="google-benchmark --benchmark_min_time value")
+    ap.add_argument("--repetitions", type=int, default=3,
+                    help="repetitions per benchmark; the median is recorded")
+    ap.add_argument("--label", default="", help="label for the current numbers")
+    ap.add_argument("--rebaseline", action="store_true",
+                    help="also record the new numbers as the baseline")
+    args = ap.parse_args()
+
+    current, context = run_google_benchmark(args.bench, args.min_time, args.repetitions)
+
+    doc = {"schema": "dynreg-bench-v1"}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError:
+                print(f"warning: {args.out} was not valid JSON; starting fresh",
+                      file=sys.stderr)
+
+    doc["schema"] = "dynreg-bench-v1"
+    doc["current"] = {
+        "label": args.label or "working tree",
+        "benchmarks": current,
+    }
+    doc["context"] = {
+        "num_cpus": context.get("num_cpus"),
+        "mhz_per_cpu": context.get("mhz_per_cpu"),
+        "library_build_type": context.get("library_build_type"),
+    }
+    if args.exp:
+        doc["current"]["end_to_end"] = time_end_to_end(args.exp)
+
+    if args.rebaseline or "baseline" not in doc:
+        doc["baseline"] = json.loads(json.dumps(doc["current"]))
+        if args.label:
+            doc["baseline"]["label"] = args.label
+
+    speedups = {}
+    base = doc["baseline"]["benchmarks"]
+    for name, cur in current.items():
+        if name in base and "items_per_second" in cur and "items_per_second" in base[name]:
+            speedups[name] = round(
+                cur["items_per_second"] / base[name]["items_per_second"], 2)
+        elif name in base:
+            speedups[name] = round(base[name]["real_time"] / cur["real_time"], 2)
+    base_e2e = doc["baseline"].get("end_to_end")
+    cur_e2e = doc["current"].get("end_to_end")
+    if base_e2e and cur_e2e:
+        speedups["end_to_end_sweep"] = round(
+            base_e2e["wall_seconds"] / cur_e2e["wall_seconds"], 2)
+    doc["speedup_vs_baseline"] = speedups
+
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(current)} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

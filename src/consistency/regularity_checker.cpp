@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <unordered_map>
 
 namespace dynreg::consistency {
 
@@ -11,15 +11,70 @@ RegularityReport RegularityChecker::check(const History& history) const {
   const auto& writes = history.writes();
   const auto& reads = history.reads();
 
-  // Concurrent-write pairs (real writes only; incomplete writes extend to
-  // infinity).
-  for (std::size_t i = 1; i < writes.size(); ++i) {
-    for (std::size_t j = i + 1; j < writes.size(); ++j) {
-      const auto& a = writes[i];
-      const auto& b = writes[j];
-      const bool disjoint = (a.end && *a.end < b.begin) || (b.end && *b.end < a.begin);
-      if (!disjoint) ++report.concurrent_write_pairs;
+  // Everything below is sort-once + indexed lookup; the previous
+  // implementation rescanned the whole write vector per pair and per read,
+  // which was quadratic in long sweep histories.
+
+  // Completed writes ordered by end time, with a running prefix-max of
+  // their begin times. Answers, by binary search on r.begin, both "how many
+  // writes completed strictly before this read began" and "what is the
+  // latest begin among them" (B*).
+  struct CompletedWrite {
+    sim::Time end = 0;
+    sim::Time begin = 0;
+  };
+  std::vector<CompletedWrite> by_end;
+  by_end.reserve(writes.size());
+  for (const auto& w : writes) {
+    if (w.end) by_end.push_back(CompletedWrite{*w.end, w.begin});
+  }
+  std::sort(by_end.begin(), by_end.end(),
+            [](const CompletedWrite& a, const CompletedWrite& b) { return a.end < b.end; });
+  std::vector<sim::Time> prefix_max_begin(by_end.size());
+  sim::Time running = 0;
+  for (std::size_t i = 0; i < by_end.size(); ++i) {
+    running = std::max(running, by_end[i].begin);
+    prefix_max_begin[i] = running;
+  }
+  const auto completed_before = [&by_end](sim::Time at) {
+    // Number of writes with end strictly < at == index of the first end >= at.
+    return static_cast<std::size_t>(
+        std::lower_bound(by_end.begin(), by_end.end(), at,
+                         [](const CompletedWrite& w, sim::Time t) { return w.end < t; }) -
+        by_end.begin());
+  };
+
+  // Concurrent-write pairs (real writes only — the initial pseudo-write at
+  // index 0 is excluded; incomplete writes extend to infinity). Two write
+  // intervals are disjoint iff one completes strictly before the other
+  // begins, and at most one of the two orderings can hold, so
+  //   concurrent = all pairs - sum over writes of |{completed ends < begin}|.
+  // Counted over the real writes only, hence the dedicated sorted-ends
+  // array rather than by_end (which serves the reads and includes index 0).
+  {
+    std::vector<sim::Time> real_ends;
+    real_ends.reserve(writes.size());
+    for (std::size_t i = 1; i < writes.size(); ++i) {
+      if (writes[i].end) real_ends.push_back(*writes[i].end);
     }
+    std::sort(real_ends.begin(), real_ends.end());
+    const std::size_t m = writes.empty() ? 0 : writes.size() - 1;
+    std::size_t disjoint = 0;
+    for (std::size_t i = 1; i < writes.size(); ++i) {
+      disjoint += static_cast<std::size_t>(
+          std::lower_bound(real_ends.begin(), real_ends.end(), writes[i].begin) -
+          real_ends.begin());
+    }
+    report.concurrent_write_pairs = m * (m - 1) / 2 - disjoint;
+  }
+
+  // Writes indexed by value, so the legality test for a read touches only
+  // the writes that could have produced its value (the workload driver
+  // issues globally unique values, so typically exactly one).
+  std::unordered_map<Value, std::vector<std::size_t>> writes_by_value;
+  writes_by_value.reserve(writes.size());
+  for (std::size_t wi = 0; wi < writes.size(); ++wi) {
+    writes_by_value[writes[wi].value].push_back(wi);
   }
 
   for (std::size_t ri = 0; ri < reads.size(); ++ri) {
@@ -33,23 +88,25 @@ RegularityReport RegularityChecker::check(const History& history) const {
     // (a write completing exactly when the read begins) count as concurrent,
     // so same-tick event ordering inside the simulator can never manufacture
     // a violation.
-    sim::Time latest_begin = 0;
-    for (const auto& w : writes) {
-      if (w.end && *w.end < r.begin) latest_begin = std::max(latest_begin, w.begin);
-    }
+    const std::size_t k = completed_before(r.begin);
+    const sim::Time latest_begin = k == 0 ? 0 : prefix_max_begin[k - 1];
 
-    std::set<Value> legal;
-    for (const auto& w : writes) {
-      const bool completed_before = w.end && *w.end < r.begin;
-      const bool concurrent = !completed_before && w.begin <= *r.end;
-      if (concurrent) {
-        legal.insert(w.value);
-      } else if (completed_before && *w.end >= latest_begin) {
-        legal.insert(w.value);
+    // The returned value is legal iff some write of that value is either
+    // concurrent with the read or completed-before but not superseded.
+    bool legal = false;
+    const auto it = writes_by_value.find(r.value);
+    if (it != writes_by_value.end()) {
+      for (const std::size_t wi : it->second) {
+        const auto& w = writes[wi];
+        const bool w_completed_before = w.end && *w.end < r.begin;
+        if (w_completed_before ? *w.end >= latest_begin : w.begin <= *r.end) {
+          legal = true;
+          break;
+        }
       }
     }
 
-    if (legal.count(r.value) == 0) {
+    if (!legal) {
       Violation v;
       v.read = ri;
       v.returned = r.value;

@@ -87,13 +87,13 @@ void AbdRegisterNode::maybe_finish_write(std::uint64_t wid) {
 }
 
 void AbdRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload) {
-  const std::string_view type = payload.type_name();
+  const net::PayloadTypeId type = payload.type_id();
 
-  if (type == "abd.read_query") {
+  if (type == msg::AbdReadQuery::kTypeId) {
     if (!replica_) return;
     const auto& m = static_cast<const msg::AbdReadQuery&>(payload);
     ctx_.send(from, net::make_payload<msg::AbdReadReply>(m.rid, ts_, value_));
-  } else if (type == "abd.read_reply") {
+  } else if (type == msg::AbdReadReply::kTypeId) {
     const auto& m = static_cast<const msg::AbdReadReply&>(payload);
     const auto it = reads_.find(m.rid);
     if (it == reads_.end() || it->second.in_writeback) return;
@@ -105,23 +105,23 @@ void AbdRegisterNode::on_message(sim::ProcessId from, const net::Payload& payloa
       r.has_best = true;
     }
     if (r.repliers.size() >= majority()) start_writeback(m.rid);
-  } else if (type == "abd.writeback") {
+  } else if (type == msg::AbdWriteback::kTypeId) {
     if (!replica_) return;
     const auto& m = static_cast<const msg::AbdWriteback&>(payload);
     apply(m.ts, m.value);
     ctx_.send(from, net::make_payload<msg::AbdWritebackAck>(m.rid));
-  } else if (type == "abd.writeback_ack") {
+  } else if (type == msg::AbdWritebackAck::kTypeId) {
     const auto& m = static_cast<const msg::AbdWritebackAck&>(payload);
     const auto it = reads_.find(m.rid);
     if (it == reads_.end() || !it->second.in_writeback) return;
     it->second.wb_ackers.insert(from);
     maybe_finish_read(m.rid);
-  } else if (type == "abd.update") {
+  } else if (type == msg::AbdUpdate::kTypeId) {
     if (!replica_) return;
     const auto& m = static_cast<const msg::AbdUpdate&>(payload);
     apply(m.ts, m.value);
     ctx_.send(from, net::make_payload<msg::AbdUpdateAck>(m.wid));
-  } else if (type == "abd.update_ack") {
+  } else if (type == msg::AbdUpdateAck::kTypeId) {
     const auto& m = static_cast<const msg::AbdUpdateAck&>(payload);
     const auto it = writes_.find(m.wid);
     if (it == writes_.end()) return;

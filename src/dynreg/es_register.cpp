@@ -140,25 +140,25 @@ void EsRegisterNode::retransmit_write(std::uint64_t wid) {
 // --- message handling -------------------------------------------------------
 
 void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload) {
-  const std::string_view type = payload.type_name();
+  const net::PayloadTypeId type = payload.type_id();
 
-  if (type == "es.write") {
+  if (type == msg::EsWrite::kTypeId) {
     // Every process — active or joining — stores newer values and acks.
     const auto& m = static_cast<const msg::EsWrite&>(payload);
     apply(m.ts, m.value);
     ctx_.send(from, net::make_payload<msg::EsAck>(m.wid));
-  } else if (type == "es.ack") {
+  } else if (type == msg::EsAck::kTypeId) {
     const auto& m = static_cast<const msg::EsAck&>(payload);
     const auto it = writes_.find(m.wid);
     if (it == writes_.end()) return;
     it->second.ackers.insert(from);
     maybe_finish_write(m.wid);
-  } else if (type == "es.read") {
+  } else if (type == msg::EsRead::kTypeId) {
     const auto& m = static_cast<const msg::EsRead&>(payload);
     if (active_) {
       ctx_.send(from, net::make_payload<msg::EsReply>(m.rid, ts_, value_, has_value_));
     }
-  } else if (type == "es.reply") {
+  } else if (type == msg::EsReply::kTypeId) {
     const auto& m = static_cast<const msg::EsReply&>(payload);
     const auto it = reads_.find(m.rid);
     if (it == reads_.end() || it->second.in_writeback) return;
@@ -170,13 +170,13 @@ void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload
       r.has_value = true;
     }
     if (r.repliers.size() >= majority()) finish_read(m.rid);
-  } else if (type == "es.join") {
+  } else if (type == msg::EsJoin::kTypeId) {
     const auto& m = static_cast<const msg::EsJoin&>(payload);
     if (active_) {
       ctx_.send(from,
                 net::make_payload<msg::EsJoinReply>(m.jid, ts_, value_, has_value_));
     }
-  } else if (type == "es.join_reply") {
+  } else if (type == msg::EsJoinReply::kTypeId) {
     const auto& m = static_cast<const msg::EsJoinReply&>(payload);
     if (!join_pending_ || m.jid != join_id_) return;
     join_repliers_.insert(from);

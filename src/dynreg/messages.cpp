@@ -1,0 +1,31 @@
+// Interns every protocol wire tag in one fixed order. Dynamic initializers
+// within a translation unit run top to bottom, so the tag -> PayloadTypeId
+// mapping is identical in every process regardless of link order or which
+// other translation units intern tags of their own later.
+#include "dynreg/messages.h"
+
+#include "net/payload_type.h"
+
+namespace dynreg::msg {
+
+using net::PayloadTypeRegistry;
+
+const net::PayloadTypeId SyncWrite::kTypeId = PayloadTypeRegistry::intern("sync.write");
+const net::PayloadTypeId SyncInquiry::kTypeId = PayloadTypeRegistry::intern("sync.inquiry");
+const net::PayloadTypeId SyncReply::kTypeId = PayloadTypeRegistry::intern("sync.reply");
+const net::PayloadTypeId SyncRefresh::kTypeId = PayloadTypeRegistry::intern("sync.refresh");
+const net::PayloadTypeId EsRead::kTypeId = PayloadTypeRegistry::intern("es.read");
+const net::PayloadTypeId EsReply::kTypeId = PayloadTypeRegistry::intern("es.reply");
+const net::PayloadTypeId EsWrite::kTypeId = PayloadTypeRegistry::intern("es.write");
+const net::PayloadTypeId EsAck::kTypeId = PayloadTypeRegistry::intern("es.ack");
+const net::PayloadTypeId EsJoin::kTypeId = PayloadTypeRegistry::intern("es.join");
+const net::PayloadTypeId EsJoinReply::kTypeId = PayloadTypeRegistry::intern("es.join_reply");
+const net::PayloadTypeId AbdReadQuery::kTypeId = PayloadTypeRegistry::intern("abd.read_query");
+const net::PayloadTypeId AbdReadReply::kTypeId = PayloadTypeRegistry::intern("abd.read_reply");
+const net::PayloadTypeId AbdWriteback::kTypeId = PayloadTypeRegistry::intern("abd.writeback");
+const net::PayloadTypeId AbdWritebackAck::kTypeId =
+    PayloadTypeRegistry::intern("abd.writeback_ack");
+const net::PayloadTypeId AbdUpdate::kTypeId = PayloadTypeRegistry::intern("abd.update");
+const net::PayloadTypeId AbdUpdateAck::kTypeId = PayloadTypeRegistry::intern("abd.update_ack");
+
+}  // namespace dynreg::msg

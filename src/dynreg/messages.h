@@ -1,5 +1,11 @@
 // Wire messages of the three protocols. Type tags are part of the contract:
 // adversarial delay models and the per-type traffic metrics match on them.
+//
+// Every message type carries a cached interned PayloadTypeId (kTypeId) so
+// per-delivery code — receiver dispatch, delay-model scripts, metrics —
+// compares small integers instead of strings. The ids are interned in one
+// fixed declaration order by src/dynreg/messages.cpp, so within a process
+// each tag always maps to the same id.
 #pragma once
 
 #include <cstdint>
@@ -14,17 +20,23 @@ namespace dynreg::msg {
 struct SyncWrite final : net::Payload {
   SyncWrite(Timestamp t, Value v) : ts(t), value(v) {}
   std::string_view type_name() const override { return "sync.write"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   Timestamp ts;
   Value value;
 };
 
 struct SyncInquiry final : net::Payload {
   std::string_view type_name() const override { return "sync.inquiry"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
 };
 
 struct SyncReply final : net::Payload {
   SyncReply(Timestamp t, Value v, bool hv) : ts(t), value(v), has_value(hv) {}
   std::string_view type_name() const override { return "sync.reply"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   Timestamp ts;
   Value value;
   bool has_value;
@@ -35,6 +47,8 @@ struct SyncReply final : net::Payload {
 struct SyncRefresh final : net::Payload {
   SyncRefresh(Timestamp t, Value v) : ts(t), value(v) {}
   std::string_view type_name() const override { return "sync.refresh"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   Timestamp ts;
   Value value;
 };
@@ -44,6 +58,8 @@ struct SyncRefresh final : net::Payload {
 struct EsRead final : net::Payload {
   explicit EsRead(std::uint64_t r) : rid(r) {}
   std::string_view type_name() const override { return "es.read"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t rid;
 };
 
@@ -51,6 +67,8 @@ struct EsReply final : net::Payload {
   EsReply(std::uint64_t r, Timestamp t, Value v, bool hv)
       : rid(r), ts(t), value(v), has_value(hv) {}
   std::string_view type_name() const override { return "es.reply"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t rid;
   Timestamp ts;
   Value value;
@@ -60,6 +78,8 @@ struct EsReply final : net::Payload {
 struct EsWrite final : net::Payload {
   EsWrite(std::uint64_t w, Timestamp t, Value v) : wid(w), ts(t), value(v) {}
   std::string_view type_name() const override { return "es.write"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t wid;
   Timestamp ts;
   Value value;
@@ -68,12 +88,16 @@ struct EsWrite final : net::Payload {
 struct EsAck final : net::Payload {
   explicit EsAck(std::uint64_t w) : wid(w) {}
   std::string_view type_name() const override { return "es.ack"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t wid;
 };
 
 struct EsJoin final : net::Payload {
   explicit EsJoin(std::uint64_t j) : jid(j) {}
   std::string_view type_name() const override { return "es.join"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t jid;
 };
 
@@ -81,6 +105,8 @@ struct EsJoinReply final : net::Payload {
   EsJoinReply(std::uint64_t j, Timestamp t, Value v, bool hv)
       : jid(j), ts(t), value(v), has_value(hv) {}
   std::string_view type_name() const override { return "es.join_reply"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t jid;
   Timestamp ts;
   Value value;
@@ -92,12 +118,16 @@ struct EsJoinReply final : net::Payload {
 struct AbdReadQuery final : net::Payload {
   explicit AbdReadQuery(std::uint64_t r) : rid(r) {}
   std::string_view type_name() const override { return "abd.read_query"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t rid;
 };
 
 struct AbdReadReply final : net::Payload {
   AbdReadReply(std::uint64_t r, Timestamp t, Value v) : rid(r), ts(t), value(v) {}
   std::string_view type_name() const override { return "abd.read_reply"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t rid;
   Timestamp ts;
   Value value;
@@ -106,6 +136,8 @@ struct AbdReadReply final : net::Payload {
 struct AbdWriteback final : net::Payload {
   AbdWriteback(std::uint64_t r, Timestamp t, Value v) : rid(r), ts(t), value(v) {}
   std::string_view type_name() const override { return "abd.writeback"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t rid;
   Timestamp ts;
   Value value;
@@ -114,12 +146,16 @@ struct AbdWriteback final : net::Payload {
 struct AbdWritebackAck final : net::Payload {
   explicit AbdWritebackAck(std::uint64_t r) : rid(r) {}
   std::string_view type_name() const override { return "abd.writeback_ack"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t rid;
 };
 
 struct AbdUpdate final : net::Payload {
   AbdUpdate(std::uint64_t w, Timestamp t, Value v) : wid(w), ts(t), value(v) {}
   std::string_view type_name() const override { return "abd.update"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t wid;
   Timestamp ts;
   Value value;
@@ -128,6 +164,8 @@ struct AbdUpdate final : net::Payload {
 struct AbdUpdateAck final : net::Payload {
   explicit AbdUpdateAck(std::uint64_t w) : wid(w) {}
   std::string_view type_name() const override { return "abd.update_ack"; }
+  net::PayloadTypeId type_id() const override { return kTypeId; }
+  static const net::PayloadTypeId kTypeId;
   std::uint64_t wid;
 };
 

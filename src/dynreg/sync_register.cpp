@@ -69,20 +69,20 @@ void SyncRegisterNode::schedule_refresh() {
 }
 
 void SyncRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload) {
-  const std::string_view type = payload.type_name();
-  if (type == "sync.write") {
+  const net::PayloadTypeId type = payload.type_id();
+  if (type == msg::SyncWrite::kTypeId) {
     const auto& m = static_cast<const msg::SyncWrite&>(payload);
     apply(m.ts, m.value);
-  } else if (type == "sync.refresh") {
+  } else if (type == msg::SyncRefresh::kTypeId) {
     const auto& m = static_cast<const msg::SyncRefresh&>(payload);
     apply(m.ts, m.value);
-  } else if (type == "sync.reply") {
+  } else if (type == msg::SyncReply::kTypeId) {
     // Replies feed the join phase only; one arriving after the collection
     // window closed is discarded (this is exactly what makes the no-wait
     // variant of Figure 3a unsafe).
     const auto& m = static_cast<const msg::SyncReply&>(payload);
     if (joining_ && m.has_value) apply(m.ts, m.value);
-  } else if (type == "sync.inquiry") {
+  } else if (type == msg::SyncInquiry::kTypeId) {
     if (active_) {
       ctx_.send(from, net::make_payload<msg::SyncReply>(ts_, value_, has_value_));
     } else {

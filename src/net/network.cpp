@@ -1,29 +1,53 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <utility>
-#include <vector>
 
 namespace dynreg::net {
 
 void Network::attach(sim::ProcessId id, Handler handler) {
-  handlers_[id] = std::move(handler);
+  if (id >= slots_.size()) slots_.resize(id + 1);
+  Slot& slot = slots_[id];
+  if (!slot.attached) {
+    // The churn system hands out increasing ids, so this is almost always
+    // an O(1) append; the insert keeps the membership sorted regardless.
+    if (attached_ids_.empty() || attached_ids_.back() < id) {
+      attached_ids_.push_back(id);
+    } else {
+      attached_ids_.insert(
+          std::lower_bound(attached_ids_.begin(), attached_ids_.end(), id), id);
+    }
+  }
+  slot.handler = std::move(handler);
+  slot.attached = true;
+  ++slot.generation;
 }
 
-void Network::detach(sim::ProcessId id) { handlers_.erase(id); }
+void Network::detach(sim::ProcessId id) {
+  if (id >= slots_.size()) return;
+  Slot& slot = slots_[id];
+  if (!slot.attached) return;
+  slot.attached = false;
+  slot.handler = nullptr;  // release the closure's resources eagerly
+  ++slot.generation;
+  attached_ids_.erase(
+      std::lower_bound(attached_ids_.begin(), attached_ids_.end(), id));
+}
 
 void Network::send(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
   transmit(from, to, std::move(payload));
 }
 
 void Network::broadcast(sim::ProcessId from, PayloadPtr payload) {
-  // Snapshot the recipient set: handlers_ may change while deliveries are in
-  // flight, and a broadcast addresses the membership at send time.
-  std::vector<sim::ProcessId> recipients;
-  recipients.reserve(handlers_.size());
-  for (const auto& [id, handler] : handlers_) {
-    if (id != from) recipients.push_back(id);
+  // A broadcast addresses the membership at send time. transmit() only
+  // schedules future deliveries (it never runs handlers synchronously), so
+  // the membership cannot change under this walk and no recipient snapshot
+  // is needed. Ascending id order matches the previous ordered-map fan-out,
+  // which keeps the RNG draw sequence — and thus every run — bit-identical.
+  for (const sim::ProcessId to : attached_ids_) {
+    if (to == from) continue;
+    transmit(from, to, payload);
   }
-  for (const sim::ProcessId to : recipients) transmit(from, to, payload);
 }
 
 void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
@@ -33,16 +57,32 @@ void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payloa
     return;
   }
   const sim::Duration d = delays_->delay(sim_.now(), from, to, *payload, sim_.rng());
-  sim_.schedule_after(d, [this, from, to, payload = std::move(payload)] {
-    const auto it = handlers_.find(to);
-    if (it == handlers_.end()) {
+  auto deliver = [this, from, to, payload = std::move(payload)] {
+    if (to >= slots_.size() || !slots_[to].attached) {
       ++stats_.dropped_departed;  // receiver departed while the copy was in flight
       return;
     }
     ++stats_.delivered;
-    ++delivered_by_type_[std::string(payload->type_name())];
-    it->second(from, *payload);
-  });
+    const PayloadTypeId type = payload->type_id();
+    if (type >= delivered_by_type_id_.size()) delivered_by_type_id_.resize(type + 1, 0);
+    ++delivered_by_type_id_[type];
+    slots_[to].handler(from, *payload);
+  };
+  // The per-copy delivery closure is THE allocation-rate driver of a run;
+  // it must never outgrow the scheduler's inline capture budget.
+  static_assert(sizeof(deliver) <= sim::InlineTask::kInlineCapacity,
+                "delivery closure must stay inline — see sim/inline_task.h");
+  sim_.schedule_after(d, std::move(deliver));
+}
+
+std::map<std::string, std::uint64_t> Network::delivered_by_type() const {
+  std::map<std::string, std::uint64_t> by_name;
+  for (std::size_t id = 0; id < delivered_by_type_id_.size(); ++id) {
+    if (delivered_by_type_id_[id] == 0) continue;
+    by_name.emplace(PayloadTypeRegistry::name(static_cast<PayloadTypeId>(id)),
+                    delivered_by_type_id_[id]);
+  }
+  return by_name;
 }
 
 }  // namespace dynreg::net

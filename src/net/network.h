@@ -7,6 +7,13 @@
 //    is how churn manifests as lost replies;
 //  - the sender does not receive its own broadcast (protocol nodes account
 //    for their local state directly).
+//
+// Dispatch is O(1): processes live in a dense vector indexed by ProcessId
+// (ids are assigned densely by the churn system), with an attached flag and
+// a generation counter per slot instead of a tree-backed map. Broadcast
+// fan-out walks the vector in id order — the same deterministic order the
+// previous std::map gave. Per-delivery metrics are keyed on interned
+// PayloadTypeId tags; the string-keyed view is materialized only on demand.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/delay_model.h"
 #include "net/payload.h"
@@ -35,7 +43,17 @@ class Network {
   /// their delivery time.
   void detach(sim::ProcessId id);
 
-  bool attached(sim::ProcessId id) const { return handlers_.count(id) != 0; }
+  bool attached(sim::ProcessId id) const {
+    return id < slots_.size() && slots_[id].attached;
+  }
+
+  /// Times the slot has been attached or detached; lets tests and debugging
+  /// distinguish incarnations of a reused id. (Delivery deliberately does
+  /// not check it: a message is delivered to whoever holds the id at
+  /// delivery time, exactly as with the previous map-based dispatch.)
+  std::uint32_t generation(sim::ProcessId id) const {
+    return id < slots_.size() ? slots_[id].generation : 0;
+  }
 
   void send(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload);
 
@@ -54,20 +72,28 @@ class Network {
   };
   const Stats& stats() const { return stats_; }
 
-  /// Delivered copies per payload type tag.
-  const std::map<std::string, std::uint64_t>& delivered_by_type() const {
-    return delivered_by_type_;
-  }
+  /// Delivered copies per payload type tag, materialized from the interned
+  /// per-id counters. Report-time only; the hot path never builds strings.
+  std::map<std::string, std::uint64_t> delivered_by_type() const;
 
  private:
+  struct Slot {
+    Handler handler;
+    std::uint32_t generation = 0;
+    bool attached = false;
+  };
+
   void transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload);
 
   sim::Simulation& sim_;
   std::unique_ptr<DelayModel> delays_;
-  std::map<sim::ProcessId, Handler> handlers_;  // ordered: deterministic fan-out
+  std::vector<Slot> slots_;  // dense, indexed by ProcessId
+  // Sorted live membership: broadcast fan-out walks this, so its cost
+  // follows the active set, not the cumulative id space of a churning run.
+  std::vector<sim::ProcessId> attached_ids_;
   double loss_rate_ = 0.0;
   Stats stats_;
-  std::map<std::string, std::uint64_t> delivered_by_type_;
+  std::vector<std::uint64_t> delivered_by_type_id_;  // indexed by PayloadTypeId
 };
 
 }  // namespace dynreg::net

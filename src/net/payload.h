@@ -1,10 +1,12 @@
 // Message payloads. Payloads are immutable and shared between the deliveries
-// of one broadcast; receivers downcast after checking type_name().
+// of one broadcast; receivers downcast after checking type_id()/type_name().
 #pragma once
 
 #include <memory>
 #include <string_view>
 #include <utility>
+
+#include "net/payload_type.h"
 
 namespace dynreg::net {
 
@@ -12,9 +14,17 @@ class Payload {
  public:
   virtual ~Payload() = default;
 
-  /// Stable wire-type tag, e.g. "sync.write". Delay models and the metrics
-  /// pipeline key on it, so tags are part of the protocol contract.
+  /// Stable wire-type tag, e.g. "sync.write". Tags are part of the protocol
+  /// contract (see payload_type.h); reports and persisted output use the
+  /// string form.
   virtual std::string_view type_name() const = 0;
+
+  /// Interned id of type_name() — what every per-message path (receiver
+  /// dispatch, delay-model scripts, delivery metrics) keys on. The default
+  /// re-interns on each call, which is correct for ad-hoc payloads in
+  /// tests; real message types override it with a cached id
+  /// (src/dynreg/messages.h) so the hot path never touches the registry.
+  virtual PayloadTypeId type_id() const { return PayloadTypeRegistry::intern(type_name()); }
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

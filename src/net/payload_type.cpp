@@ -1,0 +1,53 @@
+#include "net/payload_type.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dynreg::net {
+
+namespace {
+
+// Meyers singleton so interning works during static initialization (the
+// protocol message ids are interned by dynamic initializers in
+// src/dynreg/messages.cpp).
+struct Registry {
+  std::mutex mu;
+  std::deque<std::string> names;  // deque: stable addresses for the views
+  std::map<std::string, PayloadTypeId, std::less<>> index;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+PayloadTypeId PayloadTypeRegistry::intern(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.index.find(name);
+  if (it != r.index.end()) return it->second;
+  const auto id = static_cast<PayloadTypeId>(r.names.size());
+  r.names.emplace_back(name);
+  r.index.emplace(r.names.back(), id);
+  return id;
+}
+
+std::string_view PayloadTypeRegistry::name(PayloadTypeId id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  assert(id < r.names.size());
+  return r.names[id];
+}
+
+std::size_t PayloadTypeRegistry::count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.names.size();
+}
+
+}  // namespace dynreg::net

@@ -31,8 +31,11 @@ class Context {
   sim::Rng& rng() { return sim_.rng(); }
 
   /// Schedules fn after d ticks; silently cancelled if the node leaves first.
-  void schedule_after(sim::Duration d, std::function<void()> fn) {
-    sim_.schedule_after(d, [alive = alive_, fn = std::move(fn)] {
+  /// Templated so the liveness wrapper stays within the scheduler's inline
+  /// capture budget instead of forcing a std::function allocation per timer.
+  template <typename F>
+  void schedule_after(sim::Duration d, F fn) {
+    sim_.schedule_after(d, [alive = alive_, fn = std::move(fn)]() mutable {
       if (*alive) fn();
     });
   }

@@ -4,10 +4,158 @@
 
 namespace dynreg::sim {
 
-void EventQueue::push(Time time, std::function<void()> fn) {
-  heap_.push(Event{time, next_seq_++, std::move(fn)});
+namespace {
+
+constexpr std::size_t kArity = 4;
+
+inline std::uint32_t ctz64(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<std::uint32_t>(__builtin_ctzll(x));
+#else
+  std::uint32_t n = 0;
+  while ((x & 1) == 0) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+#endif
 }
 
-Event EventQueue::pop() { return heap_.take(); }
+}  // namespace
+
+void EventQueue::insert(Time time, std::uint32_t slot) {
+  if (size_ == 0) {
+    // Empty queue: the window can jump straight to the new event (in either
+    // direction), keeping sparse far-apart schedules (e.g. one timer at a
+    // time) on the O(1) ring path.
+    base_time_ = time;
+  }
+  if (time >= base_time_ && time - base_time_ < kWindow) {
+    const auto b = static_cast<std::uint32_t>(time & (kWindow - 1));
+    Bucket& bucket = ring_[b];
+    if (bucket.head == kNil) {
+      bucket.head = bucket.tail = slot;
+      set_bit(b);
+    } else {
+      next_[bucket.tail] = slot;
+      bucket.tail = slot;
+    }
+    ++ring_count_;
+  } else {
+    // Out of window: far future, or in the past of the wheel base (the
+    // simulation never does the latter, but the standalone queue allows it).
+    far_push(make_event_key(time, next_seq_++), slot);
+  }
+}
+
+std::uint32_t EventQueue::find_next_bucket() const {
+  const std::uint32_t from = base_slot();
+  const std::uint32_t w = from >> 6;
+  // Bits below `from` in the wheel are *wrapped* (later) times, so mask them
+  // off in the first word and only reach them through the wrap-around scan.
+  const std::uint64_t first = bits_[w] & (~0ull << (from & 63));
+  if (first != 0) return (w << 6) | ctz64(first);
+  const std::uint64_t later_words =
+      summary_ & (w + 1 < kWords ? ~0ull << (w + 1) : 0ull);
+  if (later_words != 0) {
+    const std::uint32_t w2 = ctz64(later_words);
+    return (w2 << 6) | ctz64(bits_[w2]);
+  }
+  const std::uint32_t w3 = ctz64(summary_);  // wrap around
+  return (w3 << 6) | ctz64(bits_[w3]);
+}
+
+std::pair<Time, std::uint32_t> EventQueue::take_top() {
+  // The far tier wins ties: an equal-time far entry is always the older one
+  // (see the FIFO argument in the header).
+  if (ring_count_ != 0) {
+    const Time ring_time = ring_next_time();
+    if (far_.empty() || ring_time < far_next_time()) {
+      const auto b = static_cast<std::uint32_t>(ring_time & (kWindow - 1));
+      Bucket& bucket = ring_[b];
+      const std::uint32_t slot = bucket.head;
+      bucket.head = next_[slot];
+      if (bucket.head == kNil) {
+        bucket.tail = kNil;
+        clear_bit(b);
+      }
+      --ring_count_;
+      --size_;
+      base_time_ = ring_time;  // slides the window; ring min, so no event is left behind
+      return {ring_time, slot};
+    }
+  }
+  const FarEntry top = far_take_top();
+  const Time t = event_key_time(top.key);
+  // A far entry can be in the wheel's past (standalone pushes); never move
+  // the base backwards, live ring events must stay inside the window.
+  if (t > base_time_) base_time_ = t;
+  --size_;
+  return {t, top.slot};
+}
+
+Event EventQueue::pop() {
+  const auto [time, slot] = take_top();
+  return Event{time, pool_.release(slot)};
+}
+
+void EventQueue::run_top(Time* now_out) {
+  const auto [time, slot] = take_top();
+  if (now_out != nullptr) *now_out = time;  // the event must see the advanced clock
+  // The callable may push new events (growing pool and tiers); pool slots
+  // are address-stable, so running it in place is safe. Recycle only after
+  // it returns — a running event cannot pop, so its slot can't be reused
+  // under it.
+  pool_.task(slot)();
+  pool_.recycle(slot);
+}
+
+Time EventQueue::next_time() const {
+  if (ring_count_ == 0) return far_next_time();
+  const Time ring_time = ring_next_time();
+  if (!far_.empty() && far_next_time() < ring_time) return far_next_time();
+  return ring_time;
+}
+
+void EventQueue::far_push(EventKey key, std::uint32_t slot) {
+  // Hole-based sift-up: move parents down until `key` fits, then write the
+  // new entry once.
+  std::size_t pos = far_.size();
+  far_.push_back(FarEntry{key, slot});
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!(key < far_[parent].key)) break;
+    far_[pos] = far_[parent];
+    pos = parent;
+  }
+  far_[pos] = FarEntry{key, slot};
+}
+
+EventQueue::FarEntry EventQueue::far_take_top() {
+  // Standard delete-min: drop the last entry into the root hole and sift it
+  // down past any smaller child.
+  const FarEntry top = far_.front();
+  const FarEntry last = far_.back();
+  far_.pop_back();
+  const std::size_t n = far_.size();
+  if (n != 0) {
+    FarEntry* const h = far_.data();
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t first_child = pos * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t min_child = first_child;
+      const std::size_t end = first_child + kArity < n ? first_child + kArity : n;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (h[c].key < h[min_child].key) min_child = c;
+      }
+      if (!(h[min_child].key < last.key)) break;
+      h[pos] = h[min_child];
+      pos = min_child;
+    }
+    h[pos] = last;
+  }
+  return top;
+}
 
 }  // namespace dynreg::sim

@@ -2,12 +2,38 @@
 // for the same instant. Stability is load-bearing: several benches (e.g. the
 // Figure 3 adversary) rely on "an event scheduled earlier runs first" to pin
 // down races exactly at window boundaries.
+//
+// Hot-path layout (see docs/PERFORMANCE.md). Two tiers, one total order:
+//
+//  - Near tier: a timing-wheel ring of kWindow per-tick FIFO buckets
+//    covering [base_time, base_time + kWindow). Push appends to an intrusive
+//    list, pop follows a two-level bitmap to the next non-empty tick —
+//    both O(1), no comparisons at all. Virtually every event a simulation
+//    schedules (delays are small, clocks move forward) lands here.
+//  - Far tier: an implicit 4-ary min-heap of small POD entries keyed on a
+//    packed (time, seq) 128-bit key, so sift comparisons are single
+//    wide-integer compares. It holds the rare events outside the ring
+//    window (far future, or scheduled into the past of the wheel base).
+//
+// The callables themselves never move through either structure: they live
+// in InlineTask slots (no per-event heap allocation for captures up to
+// InlineTask::kInlineCapacity) inside a free-list slab pool with stable
+// addresses, referenced by 32-bit slot index.
+//
+// FIFO correctness across tiers: a far-tier event at time t is always older
+// than any ring event at t (a push lands in the ring only while t is inside
+// the window, and the window never moves backwards past a live ring time),
+// so on equal times the far tier pops first; within a bucket the intrusive
+// list is FIFO; within the far tier the seq half of the key is FIFO. This
+// reproduces the old (time, seq) priority-queue order bit for bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
+
+#include "sim/inline_task.h"
 
 namespace dynreg::sim {
 
@@ -15,47 +41,174 @@ using Time = std::uint64_t;
 using Duration = std::uint64_t;
 using ProcessId = std::uint32_t;
 
+// Packed (time, seq) ordering key for the far tier. With 128-bit integers
+// available the comparison in the sift loops is a single wide-integer
+// compare; the fallback is an equivalent two-field lexicographic compare.
+#if defined(__SIZEOF_INT128__)
+using EventKey = unsigned __int128;
+constexpr EventKey make_event_key(Time time, std::uint64_t seq) {
+  return (static_cast<EventKey>(time) << 64) | seq;
+}
+constexpr Time event_key_time(EventKey key) { return static_cast<Time>(key >> 64); }
+#else
+struct EventKey {
+  Time time = 0;
+  std::uint64_t seq = 0;
+  friend constexpr bool operator<(const EventKey& a, const EventKey& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+};
+constexpr EventKey make_event_key(Time time, std::uint64_t seq) {
+  return EventKey{time, seq};
+}
+constexpr Time event_key_time(EventKey key) { return key.time; }
+#endif
+
 struct Event {
   Time time = 0;
-  std::uint64_t seq = 0;  // insertion order; breaks same-time ties FIFO
-  std::function<void()> fn;
+  InlineTask fn;
 };
 
 class EventQueue {
  public:
-  void push(Time time, std::function<void()> fn);
+  /// Ring span in ticks. Every delay model in the library produces delays
+  /// far below this, so out-of-window events are the exception, not the
+  /// rule. Must be a power of two.
+  static constexpr std::uint32_t kWindow = 2048;
+
+  EventQueue() { ring_.fill(Bucket{}); }
+
+  /// Accepts any `void()` callable; captures up to InlineTask::kInlineCapacity
+  /// bytes are stored without allocating.
+  template <typename F>
+  void push(Time time, F&& fn) {
+    const std::uint32_t slot = pool_.acquire(std::forward<F>(fn));
+    if (slot == next_.size()) next_.push_back(kNil);
+    else next_[slot] = kNil;
+    insert(time, slot);
+    ++size_;
+  }
 
   /// Removes and returns the earliest event (FIFO among equal times).
   /// Precondition: !empty().
   Event pop();
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Removes the earliest event and invokes its callable in place — the
+  /// simulation-loop fast path. Pool slots have stable addresses, so the
+  /// callable runs where it sits (no move-out, no temporary Event) even if
+  /// it pushes new events while executing. If `now_out` is non-null it is
+  /// set to the event's time *before* the callable runs, so a caller
+  /// owning a clock advances it without a second queue scan and the
+  /// running event observes the new time. Precondition: !empty().
+  void run_top(Time* now_out = nullptr);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  Time next_time() const { return heap_.top().time; }
+  Time next_time() const;
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kWords = kWindow / 64;
+
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
   };
 
-  // priority_queue does not expose a mutable top(), so pop() goes through a
-  // small wrapper that moves the element out.
-  struct Heap : std::priority_queue<Event, std::vector<Event>, Later> {
-    Event take() {
-      std::pop_heap(c.begin(), c.end(), comp);
-      Event e = std::move(c.back());
-      c.pop_back();
-      return e;
-    }
+  struct FarEntry {
+    EventKey key;
+    std::uint32_t slot;
   };
 
-  Heap heap_;
-  std::uint64_t next_seq_ = 0;
+  // Fixed-capacity slabs of recycled InlineTask slots. Slab granularity
+  // keeps slot addresses stable (no mass relocation on growth) and the free
+  // list makes steady-state push/pop allocation-free.
+  class TaskPool {
+   public:
+    template <typename F>
+    std::uint32_t acquire(F&& fn) {
+      std::uint32_t slot;
+      if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+      } else {
+        if (size_ == slabs_.size() * kSlabSize) {
+          slabs_.push_back(std::make_unique<InlineTask[]>(kSlabSize));
+        }
+        slot = size_++;
+      }
+      task(slot).assign(std::forward<F>(fn));
+      return slot;
+    }
+
+    /// Moves the callable out and returns the slot to the free list.
+    InlineTask release(std::uint32_t slot) {
+      InlineTask fn = std::move(task(slot));
+      free_.push_back(slot);
+      return fn;
+    }
+
+    /// Stable reference into the slab (valid across pool growth).
+    InlineTask& task(std::uint32_t slot) {
+      return slabs_[slot / kSlabSize][slot % kSlabSize];
+    }
+
+    /// Destroys the callable and recycles the slot.
+    void recycle(std::uint32_t slot) {
+      task(slot).reset();
+      free_.push_back(slot);
+    }
+
+   private:
+    static constexpr std::uint32_t kSlabSize = 256;
+
+    std::vector<std::unique_ptr<InlineTask[]>> slabs_;
+    std::vector<std::uint32_t> free_;
+    std::uint32_t size_ = 0;
+  };
+
+  void insert(Time time, std::uint32_t slot);
+  /// Detaches the earliest event and returns (time, slot), advancing the
+  /// wheel base. The caller consumes the slot.
+  std::pair<Time, std::uint32_t> take_top();
+
+  // --- ring tier ---
+  std::uint32_t base_slot() const {
+    return static_cast<std::uint32_t>(base_time_) & (kWindow - 1);
+  }
+  Time slot_to_time(std::uint32_t s) const {
+    return base_time_ + ((s + kWindow - base_slot()) & (kWindow - 1));
+  }
+  void set_bit(std::uint32_t s) {
+    bits_[s >> 6] |= 1ull << (s & 63);
+    summary_ |= 1ull << (s >> 6);
+  }
+  void clear_bit(std::uint32_t s) {
+    bits_[s >> 6] &= ~(1ull << (s & 63));
+    if (bits_[s >> 6] == 0) summary_ &= ~(1ull << (s >> 6));
+  }
+  std::uint32_t find_next_bucket() const;  // precondition: ring_count_ > 0
+  Time ring_next_time() const { return slot_to_time(find_next_bucket()); }
+
+  // --- far tier (4-ary implicit heap; children of i are 4i+1 .. 4i+4) ---
+  void far_push(EventKey key, std::uint32_t slot);
+  FarEntry far_take_top();
+  Time far_next_time() const { return event_key_time(far_.front().key); }
+
+  std::array<Bucket, kWindow> ring_;
+  std::array<std::uint64_t, kWords> bits_{};
+  std::uint64_t summary_ = 0;
+  Time base_time_ = 0;       // ring covers [base_time_, base_time_ + kWindow)
+  std::size_t ring_count_ = 0;
+
+  std::vector<FarEntry> far_;
+  std::uint64_t next_seq_ = 0;  // FIFO stamp for far-tier entries
+
+  TaskPool pool_;
+  std::vector<std::uint32_t> next_;  // intrusive bucket links, indexed by slot
+  std::size_t size_ = 0;
 };
 
 }  // namespace dynreg::sim

@@ -1,17 +1,6 @@
 #include "sim/simulation.h"
 
-#include <algorithm>
-#include <utility>
-
 namespace dynreg::sim {
-
-void Simulation::schedule_at(Time t, std::function<void()> fn) {
-  queue_.push(std::max(t, now_), std::move(fn));
-}
-
-void Simulation::schedule_after(Duration d, std::function<void()> fn) {
-  queue_.push(now_ + d, std::move(fn));
-}
 
 std::optional<Time> Simulation::next_event_time() const {
   if (queue_.empty()) return std::nullopt;
@@ -20,9 +9,7 @@ std::optional<Time> Simulation::next_event_time() const {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  Event e = queue_.pop();
-  now_ = e.time;
-  e.fn();
+  queue_.run_top(&now_);  // advances the clock, then executes in place
   return true;
 }
 

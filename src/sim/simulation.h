@@ -3,8 +3,9 @@
 // one Rng owned here, so a (seed, config) pair fully determines the run.
 #pragma once
 
-#include <functional>
+#include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -19,8 +20,17 @@ class Simulation {
   Rng& rng() { return rng_; }
 
   /// Schedules fn at absolute time t (clamped to now if in the past).
-  void schedule_at(Time t, std::function<void()> fn);
-  void schedule_after(Duration d, std::function<void()> fn);
+  /// Accepts any `void()` callable; small captures are stored without
+  /// allocating (see InlineTask).
+  template <typename F>
+  void schedule_at(Time t, F&& fn) {
+    queue_.push(std::max(t, now_), std::forward<F>(fn));
+  }
+
+  template <typename F>
+  void schedule_after(Duration d, F&& fn) {
+    queue_.push(now_ + d, std::forward<F>(fn));
+  }
 
   /// Time of the next pending event, if any.
   std::optional<Time> next_event_time() const;

@@ -76,6 +76,50 @@ TEST(Network, LateJoinerDoesNotReceiveEarlierBroadcasts) {
   EXPECT_EQ(delivered, 0);
 }
 
+TEST(Network, GenerationDistinguishesIncarnationsOfAReusedId) {
+  sim::Simulation sim(1);
+  Network net(sim, std::make_unique<FixedDelay>(1));
+  EXPECT_EQ(net.generation(7), 0u);  // never-seen id
+
+  net.attach(7, [](sim::ProcessId, const Payload&) {});
+  const auto first = net.generation(7);
+  net.detach(7);
+  net.attach(7, [](sim::ProcessId, const Payload&) {});
+  EXPECT_GT(net.generation(7), first);  // re-attach is a new incarnation
+
+  // Delivery deliberately ignores generations: whoever holds the id at
+  // delivery time receives in-flight messages, as with the old map dispatch.
+  int delivered = 0;
+  net.attach(1, [](sim::ProcessId, const Payload&) { FAIL() << "old incarnation"; });
+  net.send(0, 1, make_payload<Ping>());
+  net.detach(1);
+  net.attach(1, [&delivered](sim::ProcessId, const Payload&) { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, SparseIdsAndReattachKeepBroadcastMembershipExact) {
+  sim::Simulation sim(1);
+  Network net(sim, std::make_unique<FixedDelay>(1));
+  std::map<sim::ProcessId, int> received;
+  const auto handler = [&received](sim::ProcessId id) {
+    return [&received, id](sim::ProcessId, const Payload&) { ++received[id]; };
+  };
+  // Out-of-order, sparse attach pattern with a detach in the middle.
+  for (const sim::ProcessId id : {9u, 2u, 40u, 5u}) net.attach(id, handler(id));
+  net.detach(9);
+  EXPECT_FALSE(net.attached(9));
+  EXPECT_TRUE(net.attached(40));
+
+  net.broadcast(5, make_payload<Ping>());
+  sim.run();
+  EXPECT_EQ(received[2], 1);
+  EXPECT_EQ(received[40], 1);
+  EXPECT_EQ(received[9], 0);  // detached
+  EXPECT_EQ(received[5], 0);  // sender
+  EXPECT_EQ(net.stats().delivered, 2u);
+}
+
 TEST(Network, LossRateDropsMessages) {
   sim::Simulation sim(1);
   Network net(sim, std::make_unique<FixedDelay>(1));
