@@ -45,6 +45,7 @@ ExperimentResult run(const RunOptions& opts) {
   std::vector<harness::MetricsReport> reports(protocols.size() * per_protocol);
   harness::parallel_for(opts.jobs, reports.size(), [&](std::size_t task) {
     ExperimentConfig cfg = base_config(protocols[task / per_protocol]);
+    apply_workload(opts, cfg);
     cfg.churn_rate = churn_rates[(task / seeds) % churn_rates.size()];
     if (cfg.churn_rate == 0.0) cfg.churn_kind = harness::ChurnKind::kNone;
     cfg.seed = harness::replica_seed(cfg.seed, task % seeds);

@@ -46,14 +46,15 @@ bool scripted_inversion_occurs(bool atomic_reads, std::uint64_t seed) {
       [cfg](sim::ProcessId id, node::Context& ctx, bool initial) {
         return std::make_unique<EsRegisterNode>(id, ctx, cfg, initial);
       });
-  cluster.node(0)->write(1, [] {});
+  cluster.node(0)->write(OpContext{}, 1, [](OpOutcome) {});
   pump_until(cluster.sim, [&] { return cluster.node(1)->local_value() == 1; }, 50);
   const auto r1 = cluster.read_blocking(1, 400);
   const auto r2 = cluster.read_blocking(2, 400);
   return r1.has_value() && r2.has_value() && *r1 > *r2;
 }
 
-ResultSection ablate_atomic_reads(std::size_t seeds, std::size_t jobs) {
+ResultSection ablate_atomic_reads(const RunOptions& opts, std::size_t seeds,
+                                  std::size_t jobs) {
   // Harness runs (latency/safety) and scripted inversion trials, flattened
   // into one task grid: variant-major, replica slots pre-assigned.
   std::vector<MetricsReport> reports(2 * seeds);
@@ -73,6 +74,7 @@ ResultSection ablate_atomic_reads(std::size_t seeds, std::size_t jobs) {
       cfg.churn_kind = harness::ChurnKind::kNone;
       cfg.workload.read_interval = 2;
       cfg.workload.write_interval = 20;
+      apply_workload(opts, cfg);
       cfg.seed = harness::replica_seed(0, s);
       reports[task] = harness::run_experiment(cfg);
     } else {
@@ -106,7 +108,8 @@ ResultSection ablate_atomic_reads(std::size_t seeds, std::size_t jobs) {
   return {"atomic_reads", "(a) regular vs atomic ES reads", std::move(table), ""};
 }
 
-ResultSection ablate_fast_join(std::size_t seeds, std::size_t jobs) {
+ResultSection ablate_fast_join(const RunOptions& opts, std::size_t seeds,
+                               std::size_t jobs) {
   const std::vector<std::optional<sim::Duration>> cases{std::nullopt, 2, 1};
 
   std::vector<MetricsReport> reports(cases.size() * seeds);
@@ -120,6 +123,7 @@ ResultSection ablate_fast_join(std::size_t seeds, std::size_t jobs) {
     cfg.sync_delta_pp = cases[task / seeds];
     cfg.workload.read_interval = 5;
     cfg.workload.write_interval = 40;
+    apply_workload(opts, cfg);
     cfg.seed = harness::replica_seed(0, task % seeds);
     reports[task] = harness::run_experiment(cfg);
   });
@@ -142,7 +146,8 @@ ResultSection ablate_fast_join(std::size_t seeds, std::size_t jobs) {
   return {"fast_join", "(b) footnote 4 optimized join", std::move(table), ""};
 }
 
-ResultSection ablate_reliability(std::size_t seeds, std::size_t jobs) {
+ResultSection ablate_reliability(const RunOptions& opts, std::size_t seeds,
+                                 std::size_t jobs) {
   const std::vector<double> losses{0.0, 0.05, 0.1, 0.2, 0.4};
   constexpr std::size_t kVariants = 3;  // sync, sync+refresh, es
 
@@ -176,6 +181,7 @@ ResultSection ablate_reliability(std::size_t seeds, std::size_t jobs) {
     const std::size_t loss_i = task / (kVariants * seeds);
     const std::size_t variant = (task / seeds) % kVariants;
     ExperimentConfig cfg = make_config(losses[loss_i], variant);
+    apply_workload(opts, cfg);
     cfg.seed = harness::replica_seed(0, task % seeds);
     reports[task] = harness::run_experiment(cfg);
   });
@@ -218,9 +224,9 @@ ResultSection ablate_reliability(std::size_t seeds, std::size_t jobs) {
 ExperimentResult run(const RunOptions& opts) {
   const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
   ExperimentResult result;
-  result.sections.push_back(ablate_atomic_reads(seeds, opts.jobs));
-  result.sections.push_back(ablate_fast_join(seeds, opts.jobs));
-  result.sections.push_back(ablate_reliability(seeds, opts.jobs));
+  result.sections.push_back(ablate_atomic_reads(opts, seeds, opts.jobs));
+  result.sections.push_back(ablate_fast_join(opts, seeds, opts.jobs));
+  result.sections.push_back(ablate_reliability(opts, seeds, opts.jobs));
   return result;
 }
 

@@ -26,6 +26,7 @@ ExperimentResult run(const RunOptions& opts) {
   base.duration = 5000;
   base.workload.read_interval = 10;
   base.workload.write_interval = 60;
+  apply_workload(opts, base);
 
   const double bound = base.es_churn_threshold();  // 1/(3*delta*n)
   const std::vector<double> multiples{0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};

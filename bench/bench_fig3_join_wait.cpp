@@ -51,7 +51,9 @@ Outcome run_scenario(bool wait_before_inquiry, sim::Duration joiner_offset) {
 
   Outcome out;
   cluster->sim.run_until(5);
-  cluster->node(0)->write(1, [&out] { out.write_completed = true; });
+  cluster->node(0)->write(OpContext{}, 1, [&out](OpOutcome o) {
+    if (o == OpOutcome::kOk) out.write_completed = true;
+  });
 
   cluster->sim.run_until(5 + joiner_offset);
   const sim::ProcessId joiner = cluster->system->spawn();

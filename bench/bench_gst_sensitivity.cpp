@@ -43,8 +43,10 @@ ExperimentResult run(const RunOptions& opts) {
   ExperimentResult result;
 
   {
+    auto base = base_config();
+    apply_workload(opts, base);
     const auto points = harness::parallel_sweep(
-        base_config(), {0.0, 500.0, 1000.0, 2000.0, 4000.0},
+        base, {0.0, 500.0, 1000.0, 2000.0, 4000.0},
         [](ExperimentConfig& cfg, double gst) { cfg.gst = static_cast<sim::Time>(gst); },
         seeds, opts.jobs);
     stats::DataTable table({"GST", "read completion", "write completion",
@@ -64,6 +66,7 @@ ExperimentResult run(const RunOptions& opts) {
 
   {
     auto cfg = base_config();
+    apply_workload(opts, cfg);
     cfg.gst = 2000;
     const auto points = harness::parallel_sweep(
         cfg, {10.0, 50.0, 150.0, 300.0, 600.0},
@@ -87,6 +90,7 @@ ExperimentResult run(const RunOptions& opts) {
 
   {
     auto cfg = base_config();
+    apply_workload(opts, cfg);
     cfg.churn_kind = harness::ChurnKind::kConstant;
     cfg.churn_rate = cfg.es_churn_threshold();
     const auto points = harness::parallel_sweep(

@@ -37,12 +37,16 @@ RunResult run_scenario(sim::Time horizon, std::optional<sim::Time> gst) {
   auto cluster = ScriptedCluster::es(19, 5, 0.0, std::move(delays));
 
   RunResult result;
-  cluster->node(0)->write(1, [&result] { result.write_completed = true; });
-  const sim::Time read_start = 0;
-  cluster->node(kVictim)->read([&result, &cluster, read_start](Value) {
-    result.victim_read_completed = true;
-    result.victim_read_latency = cluster->sim.now() - read_start;
+  cluster->node(0)->write(OpContext{}, 1, [&result](OpOutcome o) {
+    if (o == OpOutcome::kOk) result.write_completed = true;
   });
+  const sim::Time read_start = 0;
+  cluster->node(kVictim)->read(
+      OpContext{}, [&result, &cluster, read_start](OpOutcome o, Value) {
+        if (o != OpOutcome::kOk) return;
+        result.victim_read_completed = true;
+        result.victim_read_latency = cluster->sim.now() - read_start;
+      });
   cluster->sim.run_until(horizon);
   return result;
 }

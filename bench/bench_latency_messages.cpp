@@ -109,6 +109,7 @@ ExperimentResult run(const RunOptions& opts) {
     const std::size_t s = task % seeds;
     ExperimentConfig cfg =
         make_config(protocols[cell / sizes.size()], sizes[cell % sizes.size()]);
+    apply_workload(opts, cfg);
     cfg.seed = harness::replica_seed(cfg.seed, s);
     reports[task] = harness::run_experiment(cfg);
   });

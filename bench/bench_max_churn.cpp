@@ -58,6 +58,7 @@ ExperimentResult run(const RunOptions& opts) {
     for (const sim::Duration delta : deltas) {
       ExperimentConfig cfg = survival_config(delta);
       cfg.leave_policy = policy;
+      apply_workload(opts, cfg);
       const double threshold = cfg.sync_churn_threshold();
 
       const auto points = harness::parallel_sweep(

@@ -30,6 +30,7 @@ ExperimentResult run(const RunOptions& opts) {
   base.workload.writer_mode = workload::WriterMode::kConcurrent;
   base.workload.read_interval = 10;
   base.workload.write_interval = 40;
+  apply_workload(opts, base);
 
   const std::vector<double> writers{1, 2, 3, 5, 7};
   const auto points = harness::parallel_sweep(

@@ -54,6 +54,7 @@ ExperimentResult run(const RunOptions& opts) {
   std::vector<harness::MetricsReport> reports(cases.size() * seeds);
   harness::parallel_for(opts.jobs, reports.size(), [&](std::size_t task) {
     ExperimentConfig cfg = base_config(cases[task / seeds].protocol);
+    apply_workload(opts, cfg);
     cfg.workload.read_interval = cases[task / seeds].gap;
     cfg.seed = harness::replica_seed(cfg.seed, task % seeds);
     reports[task] = harness::run_experiment(cfg);

@@ -35,7 +35,8 @@ const std::vector<double> kFractions{0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0
 
 ExperimentResult run(const RunOptions& opts) {
   const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
-  const ExperimentConfig base = base_config();
+  ExperimentConfig base = base_config();
+  apply_workload(opts, base);
   const double threshold = base.sync_churn_threshold();
   const auto set_churn = [threshold](ExperimentConfig& cfg, double f) {
     cfg.churn_rate = f * threshold;

@@ -82,7 +82,9 @@ class ScriptedCluster {
     std::optional<Value> result;
     RegisterNode* reg = node(id);
     if (reg == nullptr) return std::nullopt;
-    reg->read([&result](Value v) { result = v; });
+    reg->read(OpContext{0, sim.now()}, [&result](OpOutcome o, Value v) {
+      if (o == OpOutcome::kOk) result = v;
+    });
     pump_until(sim, [&result] { return result.has_value(); }, sim.now() + max_wait);
     return result;
   }

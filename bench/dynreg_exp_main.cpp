@@ -3,12 +3,17 @@
 //   dynreg_exp list
 //       Tabulates every registered experiment: name, paper claim, grid.
 //   dynreg_exp run <name>... [--seeds=N] [--jobs=N] [--format=F] [--out=DIR]
+//              [--workload=W] [--clients=N] [--think=N] [--burst=ON/OFF]
 //   dynreg_exp run --all [options]
 //       Runs experiments. --seeds sets replicas per sweep point (0/omitted:
 //       experiment default); --jobs caps parallel replicas (0: one per
 //       hardware thread; default 0); --format is table (default), json, or
 //       csv; --out writes <name>.json / <name>.csv / <name>.txt files into
-//       DIR instead of stdout.
+//       DIR instead of stdout. Workload overrides reshape the read traffic
+//       of every run_experiment-based experiment: --workload is open
+//       (default), closed, or bursty; --clients and --think configure the
+//       closed-loop engine; --burst=ON/OFF sets the bursty on/off phase
+//       lengths in ticks. Scripted constructions (E1, E2, E5) ignore them.
 //
 // Aggregated results are byte-identical across --jobs values: parallelism
 // only changes wall-clock time, never output (see docs/ARCHITECTURE.md).
@@ -36,7 +41,9 @@ enum class Format { kTable, kJson, kCsv };
 int usage(std::ostream& os, int code) {
   os << "usage: dynreg_exp list\n"
         "       dynreg_exp run (<name>... | --all) [--seeds=N] [--jobs=N]\n"
-        "                  [--format=table|json|csv] [--out=DIR]\n";
+        "                  [--format=table|json|csv] [--out=DIR]\n"
+        "                  [--workload=open|closed|bursty] [--clients=N]\n"
+        "                  [--think=N] [--burst=ON/OFF]\n";
   return code;
 }
 
@@ -103,6 +110,42 @@ int cmd_run(const std::vector<std::string>& args) {
         std::cerr << "bad --format value: " << *v << " (table|json|csv)\n";
         return 2;
       }
+    } else if (auto v = flag_value(arg, "--workload")) {
+      if (*v == "open") {
+        opts.workload.kind = workload::Kind::kOpenLoop;
+      } else if (*v == "closed") {
+        opts.workload.kind = workload::Kind::kClosedLoop;
+      } else if (*v == "bursty") {
+        opts.workload.kind = workload::Kind::kBursty;
+      } else {
+        std::cerr << "bad --workload value: " << *v << " (open|closed|bursty)\n";
+        return 2;
+      }
+    } else if (auto v = flag_value(arg, "--clients")) {
+      const auto n = parse_count(*v);
+      if (!n || *n == 0) {
+        std::cerr << "bad --clients value: " << *v << "\n";
+        return 2;
+      }
+      opts.workload.clients = *n;
+    } else if (auto v = flag_value(arg, "--think")) {
+      const auto n = parse_count(*v);
+      if (!n) {
+        std::cerr << "bad --think value: " << *v << "\n";
+        return 2;
+      }
+      opts.workload.think = static_cast<sim::Duration>(*n);
+    } else if (auto v = flag_value(arg, "--burst")) {
+      const auto slash = v->find('/');
+      const auto on = parse_count(v->substr(0, slash));
+      std::optional<std::size_t> off;
+      if (slash != std::string::npos) off = parse_count(v->substr(slash + 1));
+      if (!on || !off) {
+        std::cerr << "bad --burst value: " << *v << " (expected ON/OFF ticks)\n";
+        return 2;
+      }
+      opts.workload.burst_on = static_cast<sim::Duration>(*on);
+      opts.workload.burst_off = static_cast<sim::Duration>(*off);
     } else if (auto v = flag_value(arg, "--out")) {
       out_dir = *v;
     } else if (arg == "--all") {

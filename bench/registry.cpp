@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "emit.h"
+#include "harness/experiment.h"
 
 namespace dynreg::bench {
 
@@ -46,6 +47,15 @@ Registrar::Registrar(Experiment e) { ExperimentRegistry::instance().add(std::mov
 
 std::size_t effective_seeds(const Experiment& e, const RunOptions& opts) {
   return opts.seeds == 0 ? e.default_seeds : opts.seeds;
+}
+
+void apply_workload(const RunOptions& opts, harness::ExperimentConfig& cfg) {
+  const WorkloadOverrides& w = opts.workload;
+  if (w.kind) cfg.workload.kind = *w.kind;
+  if (w.clients) cfg.workload.clients = *w.clients;
+  if (w.think) cfg.workload.think_time = *w.think;
+  if (w.burst_on) cfg.workload.burst_on = *w.burst_on;
+  if (w.burst_off) cfg.workload.burst_off = *w.burst_off;
 }
 
 ExperimentResult run_resolved(const Experiment& e, RunOptions opts) {

@@ -13,12 +13,30 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "harness/workload_config.h"
 #include "stats/data_table.h"
 
+namespace dynreg::harness {
+struct ExperimentConfig;
+}  // namespace dynreg::harness
+
 namespace dynreg::bench {
+
+/// CLI workload overrides (--workload/--clients/--think/--burst): applied by
+/// every run_experiment-based experiment to its base config(s) via
+/// apply_workload(). Scripted deterministic constructions (E1, E2, E5) have
+/// no workload driver and ignore them.
+struct WorkloadOverrides {
+  std::optional<workload::Kind> kind;
+  std::optional<std::size_t> clients;
+  std::optional<sim::Duration> think;
+  std::optional<sim::Duration> burst_on;
+  std::optional<sim::Duration> burst_off;
+};
 
 /// CLI-controlled execution knobs handed to every experiment run function.
 struct RunOptions {
@@ -30,6 +48,7 @@ struct RunOptions {
   std::size_t seeds = 0;
   /// Max replicas in flight at once; 0 means one per hardware thread.
   std::size_t jobs = 1;
+  WorkloadOverrides workload;
 };
 
 /// One table of results plus the paper-shape commentary attached to it.
@@ -89,6 +108,11 @@ struct Registrar {
 
 /// The seed count a run will actually use (opts.seeds, defaulted).
 std::size_t effective_seeds(const Experiment& e, const RunOptions& opts);
+
+/// Applies opts.workload onto cfg.workload (fields left unset keep the
+/// experiment's own defaults). Every run_experiment-based run function calls
+/// this on each base config it builds.
+void apply_workload(const RunOptions& opts, harness::ExperimentConfig& cfg);
 
 /// Invokes e.run with opts.seeds resolved via effective_seeds — the one
 /// place the default is applied, so run functions just read opts.seeds and

@@ -65,8 +65,17 @@ void System::leave(sim::ProcessId id) {
   chronicle_.note_left(id, sim_.now());
   net_.detach(id);
   it->second.ctx->invalidate();
+  // Remove the member from every map *before* resolving its in-flight
+  // operations: a resolution hook that synchronously issues a new operation
+  // must observe the departure (find() returning nullptr, the id absent
+  // from active_ids()) rather than a half-torn-down node whose completion
+  // would leak. Timers are already dead and the network slot gone, so the
+  // resolutions can schedule follow-up events (e.g. client retries) but can
+  // no longer reach this node.
+  Member member = std::move(it->second);
   active_.erase(id);
   members_.erase(it);
+  member.node->on_departure();
 }
 
 node::Node* System::find(sim::ProcessId id) {

@@ -1,0 +1,246 @@
+// The client layer: issues register operations against the deployed system
+// and owns everything the protocols should not — operation identity, typed
+// outcomes, history recording, latency capture, per-op deadlines, retries,
+// and closed-loop session scheduling.
+//
+// Before this layer, every bench re-implemented its own invoke/record glue
+// around bare callbacks. Now a single Client fronts the system:
+//
+//   Client::read/write     issue one operation and return an OpHandle; the
+//                          operation resolves with a typed OpOutcome.
+//   Client::session_read   closed-loop entry point: operations against the
+//                          same process serialize FIFO (a process serves one
+//                          client operation at a time), which is what makes
+//                          latency grow with client count under load.
+//   ClientSession          one closed-loop client: issue, await resolution,
+//                          think, repeat.
+//
+// Determinism contract (see docs/ARCHITECTURE.md): a Client draws randomness
+// only from the run's one sim::Rng (retry re-targeting, session targeting),
+// so a (config, seed) pair fully determines every record. OpRecords live in
+// a std::deque owned by the Client — OpHandles are non-owning views that
+// stay valid for the Client's lifetime and are never invalidated by later
+// operations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "churn/system.h"
+#include "consistency/history.h"
+#include "dynreg/operation.h"
+#include "dynreg/register_node.h"
+#include "sim/simulation.h"
+
+namespace dynreg::client {
+
+/// Re-issue policy for failed attempts (dropped on departure or timed out).
+/// A retried read re-targets a uniformly random active process when its
+/// original target is gone; a retried write stays pinned to its writer (and
+/// resolves as dropped if the writer left). Each attempt opens a fresh
+/// history interval — the failed attempt's interval stays open, which the
+/// checkers already treat correctly (concurrent with everything after it).
+struct RetryPolicy {
+  /// Total attempts allowed, first issue included; 1 means no retry.
+  std::uint32_t max_attempts = 1;
+  /// Delay between a failed attempt and its re-issue.
+  sim::Duration backoff = 0;
+};
+
+struct OpOptions {
+  /// Resolve the operation as kTimedOut if it has not resolved this many
+  /// ticks after an attempt is issued. The protocol-side operation keeps
+  /// running; a late completion is discarded by the client (exactly-once
+  /// resolution).
+  std::optional<sim::Duration> deadline;
+  RetryPolicy retry;
+};
+
+class OpHandle;
+
+/// Fires when an operation resolves (any outcome), after metrics/history
+/// are recorded. InlineTask-style move-only callable.
+using OpHook = sim::InlineFunction<void(const OpHandle&)>;
+
+/// One operation's full client-side record.
+struct OpRecord {
+  /// Marker for `station`: the op does not occupy a session FIFO.
+  static constexpr sim::ProcessId kNoStation = ~sim::ProcessId{0};
+
+  OpId id = 0;
+  OpType type = OpType::kRead;
+  sim::ProcessId target = 0;
+  /// Written value (writes, from issue) / read value (reads, once kOk).
+  Value value = kBottom;
+  /// Client-perceived invocation time — session queue wait included.
+  sim::Time invoked_at = 0;
+  sim::Time responded_at = 0;  ///< set when resolved
+  OpOutcome outcome = OpOutcome::kOk;
+  std::uint32_t attempts = 0;  ///< attempts dispatched so far
+  bool resolved = false;
+  bool attempt_open = false;  ///< current attempt still awaiting the node
+  OpOptions options;
+  consistency::OpId history_op = 0;  ///< current attempt's history record
+  bool session = false;  ///< issued via session_read: dispatch through stations
+  sim::ProcessId station = kNoStation;  ///< station FIFO this attempt occupies
+  OpHook on_resolved;
+};
+
+/// Non-owning view of an OpRecord; valid for the issuing Client's lifetime.
+class OpHandle {
+ public:
+  OpHandle() = default;
+
+  bool valid() const { return rec_ != nullptr; }
+  OpId id() const { return rec_->id; }
+  OpType type() const { return rec_->type; }
+  /// Whether the operation has resolved; outcome()/responded_at() are only
+  /// meaningful afterwards. Operations pending at the run horizon never
+  /// resolve.
+  bool resolved() const { return rec_->resolved; }
+  OpOutcome outcome() const { return rec_->outcome; }
+  sim::Time invoked_at() const { return rec_->invoked_at; }
+  sim::Time responded_at() const { return rec_->responded_at; }
+  /// Written value; for reads, the value returned (kOk resolutions only).
+  Value value() const { return rec_->value; }
+  std::uint32_t attempts() const { return rec_->attempts; }
+
+ private:
+  friend class Client;
+  explicit OpHandle(const OpRecord* rec) : rec_(rec) {}
+  const OpRecord* rec_ = nullptr;
+};
+
+/// Operation counters and latency samples, harvested by the experiment
+/// harness into its MetricsReport after the run. Latency samples are the
+/// client-perceived invoke-to-response times of kOk resolutions, in
+/// resolution order. Dropped/timed-out counters count failed *attempts*.
+struct OpStats {
+  std::uint64_t reads_issued = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t reads_of_bottom = 0;
+  std::uint64_t writes_issued = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t reads_dropped = 0;
+  std::uint64_t writes_dropped = 0;
+  std::uint64_t reads_timed_out = 0;
+  std::uint64_t writes_timed_out = 0;
+  std::uint64_t retries = 0;
+  std::vector<double> read_latencies;
+  std::vector<double> write_latencies;
+};
+
+class Client {
+ public:
+  /// `horizon` bounds retries (no attempt is re-issued at or after it);
+  /// pass the run duration. History completions and metrics are recorded
+  /// for every resolution, whenever it happens.
+  Client(sim::Simulation& sim, churn::System& system, consistency::History& history,
+         sim::Time horizon);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// The target's register node, or nullptr if it is not in the system.
+  RegisterNode* node(sim::ProcessId id);
+
+  /// Issues one read against `target`. If the target is not in the system
+  /// the operation resolves immediately as kDroppedOnDeparture (without
+  /// counting as issued — nothing was put on the wire).
+  OpHandle read(sim::ProcessId target, OpOptions options = {}, OpHook done = {});
+
+  /// Issues one write of `v` against `target`.
+  OpHandle write(sim::ProcessId target, Value v, OpOptions options = {},
+                 OpHook done = {});
+
+  /// Closed-loop entry point: like read(), but operations against the same
+  /// target serialize FIFO — the op waits until the target's previous
+  /// session op resolves. Queue wait counts toward the op's latency. A
+  /// retried session read re-enters the FIFO of its new target, so the
+  /// one-client-op-per-process invariant holds across retries.
+  OpHandle session_read(sim::ProcessId target, OpOptions options = {},
+                        OpHook done = {});
+
+  /// A uniformly random active process (one rng draw), or nullopt when no
+  /// process is active — the one selection routine every traffic source
+  /// (open-loop ticks, sessions, retry re-targeting) shares, so their RNG
+  /// draw sequences stay identical by construction.
+  std::optional<sim::ProcessId> random_active();
+
+  /// The workload's write-value sequence (1, 2, 3, ...).
+  Value next_value() { return next_value_++; }
+
+  OpStats& stats() { return stats_; }
+  const std::deque<OpRecord>& records() const { return records_; }
+  OpHandle handle(OpId id) const { return OpHandle(&records_[id]); }
+
+ private:
+  struct Station {
+    bool busy = false;
+    std::deque<OpId> queue;
+  };
+
+  OpRecord& new_record(OpType type, sim::ProcessId target, OpOptions options,
+                       OpHook done);
+  void enqueue_session(OpRecord& rec);
+  void start_attempt(OpRecord& rec);
+  void on_node_completion(OpId id, std::uint32_t attempt, OpOutcome outcome, Value v);
+  void on_deadline(OpId id, std::uint32_t attempt);
+  void finish_attempt(OpRecord& rec, OpOutcome outcome, Value v);
+  void retry_attempt(OpId id, std::uint32_t attempt);
+  void resolve(OpRecord& rec, OpOutcome outcome);
+  void release_station(sim::ProcessId target);
+  void pump_station(sim::ProcessId target);
+
+  sim::Simulation& sim_;
+  churn::System& system_;
+  consistency::History& history_;
+  sim::Time horizon_;
+
+  std::deque<OpRecord> records_;  // deque: stable addresses for OpHandles
+  std::map<sim::ProcessId, Station> stations_;
+  Value next_value_ = 1;
+  OpStats stats_;
+};
+
+/// One closed-loop client: pick a uniformly random active process, issue a
+/// session read, and once it resolves (any outcome) think for `think_time`
+/// and repeat, until the horizon. When no process is active the session
+/// backs off one think interval (minimum 1 tick) and probes again.
+class ClientSession {
+ public:
+  struct Config {
+    /// Ticks between an op's resolution and the next issue. A session
+    /// always advances at least one tick per cycle (think_time 0 behaves
+    /// as 1): instantaneous reads (the sync protocol) would otherwise
+    /// re-issue at the same timestamp forever and the event queue would
+    /// never drain.
+    sim::Duration think_time = 0;
+    sim::Time horizon = 0;
+    OpOptions op_options;
+  };
+
+  ClientSession(Client& client, sim::Simulation& sim, Config config)
+      : client_(client), sim_(sim), config_(config) {}
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Issues the session's first operation (call once, before the run).
+  void start() { next_op(); }
+
+  std::uint64_t ops_issued() const { return ops_issued_; }
+
+ private:
+  void next_op();
+
+  Client& client_;
+  sim::Simulation& sim_;
+  Config config_;
+  std::uint64_t ops_issued_ = 0;
+};
+
+}  // namespace dynreg::client

@@ -24,7 +24,7 @@ void AbdRegisterNode::apply(const Timestamp& ts, Value v) {
   }
 }
 
-void AbdRegisterNode::read(ReadCallback done) {
+void AbdRegisterNode::read(const OpContext&, ReadCompletion done) {
   const std::uint64_t rid = next_rid_++;
   PendingRead& r = reads_[rid];
   r.done = std::move(done);
@@ -38,7 +38,7 @@ void AbdRegisterNode::read(ReadCallback done) {
   if (r.repliers.size() >= majority()) start_writeback(rid);  // n == 1 corner
 }
 
-void AbdRegisterNode::write(Value v, WriteCallback done) {
+void AbdRegisterNode::write(const OpContext&, Value v, WriteCompletion done) {
   // Advance past every timestamp this process has observed so a writer whose
   // local counter lags (multi-writer configs) cannot issue an already
   // superseded timestamp that replicas would ack but never store.
@@ -75,7 +75,7 @@ void AbdRegisterNode::maybe_finish_read(std::uint64_t rid) {
   }
   PendingRead finished = std::move(it->second);
   reads_.erase(it);
-  finished.done(finished.best_value);
+  finished.done(OpOutcome::kOk, finished.best_value);
 }
 
 void AbdRegisterNode::maybe_finish_write(std::uint64_t wid) {
@@ -83,7 +83,21 @@ void AbdRegisterNode::maybe_finish_write(std::uint64_t wid) {
   if (it == writes_.end() || it->second.ackers.size() < majority()) return;
   PendingWrite finished = std::move(it->second);
   writes_.erase(it);
-  finished.done();
+  finished.done(OpOutcome::kOk);
+}
+
+void AbdRegisterNode::on_departure() {
+  // Resolve every in-flight quorum operation as dropped, in id order.
+  auto reads = std::move(reads_);
+  reads_.clear();
+  auto writes = std::move(writes_);
+  writes_.clear();
+  for (auto& [rid, r] : reads) {
+    if (r.done) r.done(OpOutcome::kDroppedOnDeparture, kBottom);
+  }
+  for (auto& [wid, w] : writes) {
+    if (w.done) w.done(OpOutcome::kDroppedOnDeparture);
+  }
 }
 
 void AbdRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload) {

@@ -29,14 +29,15 @@ class AbdRegisterNode final : public RegisterNode {
   AbdRegisterNode(sim::ProcessId id, node::Context& ctx, AbdConfig config, bool initial);
 
   void on_message(sim::ProcessId from, const net::Payload& payload) override;
-  void read(ReadCallback done) override;
-  void write(Value v, WriteCallback done) override;
+  void on_departure() override;
+  void read(const OpContext& op, ReadCompletion done) override;
+  void write(const OpContext& op, Value v, WriteCompletion done) override;
   Value local_value() const override { return value_; }
   bool is_active() const override { return true; }  // no join protocol
 
  private:
   struct PendingRead {
-    ReadCallback done;
+    ReadCompletion done;
     std::set<sim::ProcessId> repliers;
     Timestamp best_ts;
     Value best_value = kBottom;
@@ -45,7 +46,7 @@ class AbdRegisterNode final : public RegisterNode {
     bool in_writeback = false;
   };
   struct PendingWrite {
-    WriteCallback done;
+    WriteCompletion done;
     std::set<sim::ProcessId> ackers;
   };
 

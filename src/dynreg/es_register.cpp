@@ -47,7 +47,7 @@ void EsRegisterNode::retransmit_join() {
 
 // --- read -------------------------------------------------------------------
 
-void EsRegisterNode::read(ReadCallback done) {
+void EsRegisterNode::read(const OpContext&, ReadCompletion done) {
   const std::uint64_t rid = next_rid_++;
   PendingRead& r = reads_[rid];
   r.done = std::move(done);
@@ -79,7 +79,7 @@ void EsRegisterNode::finish_read(std::uint64_t rid) {
   }
   PendingRead r = std::move(it->second);
   reads_.erase(it);
-  r.done(r.has_value ? r.best_value : kBottom);
+  r.done(OpOutcome::kOk, r.has_value ? r.best_value : kBottom);
 }
 
 void EsRegisterNode::start_writeback(std::uint64_t rid) {
@@ -101,7 +101,7 @@ void EsRegisterNode::start_writeback(std::uint64_t rid) {
 
 // --- write ------------------------------------------------------------------
 
-void EsRegisterNode::write(Value v, WriteCallback done) {
+void EsRegisterNode::write(const OpContext&, Value v, WriteCompletion done) {
   // Timestamps advance past everything this process has seen, so concurrent
   // writers converge on a total (sn, writer id) order — the multi-writer
   // extension of Section 7.
@@ -126,7 +126,24 @@ void EsRegisterNode::maybe_finish_write(std::uint64_t wid) {
   if (w.is_read_writeback) {
     finish_read(w.rid);
   } else if (w.done) {
-    w.done();
+    w.done(OpOutcome::kOk);
+  }
+}
+
+void EsRegisterNode::on_departure() {
+  // Resolve every in-flight operation as dropped, in id order (deterministic
+  // for the client's records). A read in its write-back phase owns its
+  // completion through reads_; the paired write-back entry in writes_ has no
+  // completion of its own, so nothing resolves twice.
+  auto reads = std::move(reads_);
+  reads_.clear();
+  auto writes = std::move(writes_);
+  writes_.clear();
+  for (auto& [rid, r] : reads) {
+    if (r.done) r.done(OpOutcome::kDroppedOnDeparture, kBottom);
+  }
+  for (auto& [wid, w] : writes) {
+    if (w.done) w.done(OpOutcome::kDroppedOnDeparture);
   }
 }
 

@@ -36,14 +36,15 @@ class EsRegisterNode final : public RegisterNode {
   EsRegisterNode(sim::ProcessId id, node::Context& ctx, EsConfig config, bool initial);
 
   void on_message(sim::ProcessId from, const net::Payload& payload) override;
-  void read(ReadCallback done) override;
-  void write(Value v, WriteCallback done) override;
+  void on_departure() override;
+  void read(const OpContext& op, ReadCompletion done) override;
+  void write(const OpContext& op, Value v, WriteCompletion done) override;
   Value local_value() const override { return value_; }
   bool is_active() const override { return active_; }
 
  private:
   struct PendingRead {
-    ReadCallback done;
+    ReadCompletion done;
     std::set<sim::ProcessId> repliers;
     Timestamp best_ts;
     Value best_value = kBottom;
@@ -51,7 +52,7 @@ class EsRegisterNode final : public RegisterNode {
     bool in_writeback = false;
   };
   struct PendingWrite {
-    WriteCallback done;
+    WriteCompletion done;
     Timestamp ts;
     Value value = kBottom;
     std::set<sim::ProcessId> ackers;

@@ -1,0 +1,72 @@
+// The typed operation vocabulary of the client/register API: operation
+// identity (OpContext), outcome (OpOutcome), and the move-only completion
+// callables every protocol signals through.
+//
+// Before this layer existed, operations were bare std::function callbacks
+// with no identity and exactly one implicit outcome ("the callback fired");
+// an operation whose node departed simply leaked its callback. Now every
+// invocation carries an OpContext assigned by the issuing client, and the
+// completion fires at most once with a typed outcome (an operation that
+// merely starves on a node that never departs stays pending — clients that
+// need a bound arm a deadline, see client::OpOptions):
+//
+//   kOk                  the protocol completed the operation,
+//   kDroppedOnDeparture  the hosting node left the system mid-operation,
+//   kTimedOut            the client's per-op deadline expired first (raised
+//                        by the client layer, never by a protocol).
+#pragma once
+
+#include <cstdint>
+
+#include "dynreg/types.h"
+#include "sim/event_queue.h"
+#include "sim/inline_function.h"
+
+namespace dynreg {
+
+/// Client-assigned operation identity, unique per run within one client.
+using OpId = std::uint64_t;
+
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+/// How an operation resolved. Every issued operation resolves with exactly
+/// one outcome (or stays pending past the run horizon, which no outcome
+/// describes — the record simply never resolves).
+enum class OpOutcome : std::uint8_t {
+  kOk = 0,
+  kDroppedOnDeparture = 1,
+  kTimedOut = 2,
+};
+
+inline const char* to_string(OpOutcome o) {
+  switch (o) {
+    case OpOutcome::kOk:
+      return "ok";
+    case OpOutcome::kDroppedOnDeparture:
+      return "dropped_on_departure";
+    case OpOutcome::kTimedOut:
+      return "timed_out";
+  }
+  return "?";
+}
+
+inline const char* to_string(OpType t) {
+  return t == OpType::kRead ? "read" : "write";
+}
+
+/// What a protocol learns about the operation it is asked to run: the
+/// client's id for it and the invocation time. Protocols treat it as opaque
+/// identity — internal round identifiers stay internal.
+struct OpContext {
+  OpId id = 0;
+  sim::Time invoked_at = 0;
+};
+
+/// Completion callables, InlineTask-style (move-only, 48-byte in-place
+/// capture, no std::function on the operation hot path). A read completion
+/// receives the value only when the outcome is kOk; for any other outcome
+/// the value argument is kBottom and meaningless.
+using ReadCompletion = sim::InlineFunction<void(OpOutcome, Value)>;
+using WriteCompletion = sim::InlineFunction<void(OpOutcome)>;
+
+}  // namespace dynreg

@@ -1,31 +1,37 @@
 // Common interface of all register protocol implementations.
 #pragma once
 
-#include <functional>
-
+#include "dynreg/operation.h"
 #include "dynreg/types.h"
 #include "node/node.h"
 
 namespace dynreg {
 
 /// Common interface of the register protocols (sync, ES, ABD). Operations
-/// are asynchronous: they return immediately and signal completion through
-/// the supplied callback, which runs inside the simulation (same virtual
-/// time discipline as any event). If the node departs mid-operation the
-/// callback is dropped with its timers — callers must not rely on it firing.
+/// are asynchronous: read/write return immediately and signal through the
+/// supplied move-only completion, which runs inside the simulation (same
+/// virtual time discipline as any event).
+///
+/// Completion contract:
+///  - The completion fires at most once, with a typed OpOutcome.
+///  - kOk: the protocol completed the operation normally.
+///  - kDroppedOnDeparture: the node left the system with the operation still
+///    in flight — on_departure() resolves every pending operation instead of
+///    leaking its completion with the node's timers (the silent-drop footgun
+///    of the pre-client API).
+///  - An operation that merely starves (e.g. a quorum that never forms on a
+///    node that never departs) keeps its completion pending forever; clients
+///    that need a bound arm a deadline (client::Client raises kTimedOut).
 class RegisterNode : public node::Node {
  public:
-  using ReadCallback = std::function<void(Value)>;
-  using WriteCallback = std::function<void()>;
-
   using node::Node::Node;
 
-  /// Starts a read; the callback fires (once) when the operation returns.
-  /// Operations that never terminate (e.g. a starved quorum) never fire it.
-  virtual void read(ReadCallback done) = 0;
+  /// Starts a read identified by `op`; `done` fires when the operation
+  /// resolves (kOk carries the value read, other outcomes carry kBottom).
+  virtual void read(const OpContext& op, ReadCompletion done) = 0;
 
-  /// Starts a write of `v`; the callback fires when the write completes.
-  virtual void write(Value v, WriteCallback done) = 0;
+  /// Starts a write of `v` identified by `op`.
+  virtual void write(const OpContext& op, Value v, WriteCompletion done) = 0;
 
   /// The process's current local copy (kBottom before a join adopts one).
   virtual Value local_value() const = 0;

@@ -91,18 +91,45 @@ void SyncRegisterNode::on_message(sim::ProcessId from, const net::Payload& paylo
   }
 }
 
-void SyncRegisterNode::read(ReadCallback done) {
-  // Reads are local and instantaneous — the "fast reads" design point.
-  done(value_);
+void SyncRegisterNode::read(const OpContext&, ReadCompletion done) {
+  // Reads are local and instantaneous — the "fast reads" design point. A
+  // read can therefore never be dropped mid-flight: it resolves before the
+  // invocation returns.
+  done(OpOutcome::kOk, value_);
 }
 
-void SyncRegisterNode::write(Value v, WriteCallback done) {
+void SyncRegisterNode::write(const OpContext&, Value v, WriteCompletion done) {
   Timestamp ts{ts_.sn + 1, id()};
   apply(ts, v);
   ctx_.broadcast(net::make_payload<msg::SyncWrite>(ts, v));
   // In the synchronous model every copy lands within delta; the write
-  // returns exactly then (Section 3.3).
-  ctx_.schedule_after(config_.delta, [done = std::move(done)] { done(); });
+  // returns exactly then (Section 3.3). The completion waits in
+  // pending_writes_ (not inside the timer) so a departure can resolve it.
+  const std::uint64_t wid = next_wid_++;
+  pending_writes_.emplace_back(wid, std::move(done));
+  ctx_.schedule_after(config_.delta, [this, wid] { finish_write(wid); });
+}
+
+void SyncRegisterNode::finish_write(std::uint64_t wid) {
+  // Writes all wait the same delta, so their timers fire in issue order and
+  // the finishing write is always the queue's front. (A cleared queue —
+  // departure resolved everything — cannot be observed here: departure also
+  // cancels the timers.)
+  if (pending_writes_.empty() || pending_writes_.front().first != wid) return;
+  WriteCompletion done = std::move(pending_writes_.front().second);
+  pending_writes_.pop_front();
+  done(OpOutcome::kOk);
+}
+
+void SyncRegisterNode::on_departure() {
+  // Resolve every in-flight write as dropped (in issue order, so the
+  // client's records resolve deterministically). Reads are instantaneous
+  // and never pend; join state has no client-visible operation attached.
+  auto pending = std::move(pending_writes_);
+  pending_writes_.clear();
+  for (auto& [wid, done] : pending) {
+    if (done) done(OpOutcome::kDroppedOnDeparture);
+  }
 }
 
 }  // namespace dynreg

@@ -12,7 +12,10 @@
 // Theorem 1: this implements a regular register provided c < 1/(3*delta).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dynreg/register_node.h"
@@ -42,14 +45,16 @@ class SyncRegisterNode final : public RegisterNode {
                    bool initial);
 
   void on_message(sim::ProcessId from, const net::Payload& payload) override;
-  void read(ReadCallback done) override;
-  void write(Value v, WriteCallback done) override;
+  void on_departure() override;
+  void read(const OpContext& op, ReadCompletion done) override;
+  void write(const OpContext& op, Value v, WriteCompletion done) override;
   Value local_value() const override { return value_; }
   bool is_active() const override { return active_; }
 
  private:
   void start_inquiry();
   void finish_join();
+  void finish_write(std::uint64_t wid);
   void apply(const Timestamp& ts, Value v);
   void schedule_refresh();
 
@@ -62,6 +67,13 @@ class SyncRegisterNode final : public RegisterNode {
   bool active_ = false;
   bool joining_ = false;
   std::vector<sim::ProcessId> pending_inquiries_;
+  /// Writes waiting out their delta propagation window, tagged with a local
+  /// sequence number. Held here (not captured in the timer) so a departure
+  /// can resolve them with kDroppedOnDeparture. Every write waits exactly
+  /// delta, so completions are strict FIFO — a deque (amortized
+  /// allocation-free) instead of a per-write map node.
+  std::deque<std::pair<std::uint64_t, WriteCompletion>> pending_writes_;
+  std::uint64_t next_wid_ = 0;
 };
 
 }  // namespace dynreg

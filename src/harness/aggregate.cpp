@@ -8,12 +8,6 @@ namespace dynreg::harness {
 
 namespace {
 
-double percentile(const std::vector<double>& sorted, double p) {
-  const std::size_t n = sorted.size();
-  const auto idx = std::min(n - 1, static_cast<std::size_t>(p * static_cast<double>(n)));
-  return sorted[idx];
-}
-
 Aggregate over_runs(const std::vector<MetricsReport>& runs,
                     const std::function<double(const MetricsReport&)>& fn) {
   std::vector<double> samples;
@@ -23,6 +17,12 @@ Aggregate over_runs(const std::vector<MetricsReport>& runs,
 }
 
 }  // namespace
+
+double percentile(const std::vector<double>& sorted, double p) {
+  const std::size_t n = sorted.size();
+  const auto idx = std::min(n - 1, static_cast<std::size_t>(p * static_cast<double>(n)));
+  return sorted[idx];
+}
 
 Aggregate aggregate(std::vector<double> samples) {
   Aggregate a;
@@ -58,9 +58,22 @@ AggregatedMetrics aggregate_metrics(const std::vector<MetricsReport>& runs) {
   m.join_completion =
       over_runs(runs, [](const auto& r) { return r.join_completion_rate(); });
   m.read_latency = over_runs(runs, [](const auto& r) { return r.read_latency_mean; });
+  m.read_latency_p50 = over_runs(runs, [](const auto& r) { return r.read_latency_p50; });
   m.read_latency_p99 = over_runs(runs, [](const auto& r) { return r.read_latency_p99; });
   m.write_latency = over_runs(runs, [](const auto& r) { return r.write_latency_mean; });
+  m.write_latency_p50 =
+      over_runs(runs, [](const auto& r) { return r.write_latency_p50; });
+  m.write_latency_p99 =
+      over_runs(runs, [](const auto& r) { return r.write_latency_p99; });
   m.join_latency = over_runs(runs, [](const auto& r) { return r.join_latency_mean; });
+  m.ops_dropped = over_runs(runs, [](const auto& r) {
+    return static_cast<double>(r.reads_dropped + r.writes_dropped);
+  });
+  m.ops_timed_out = over_runs(runs, [](const auto& r) {
+    return static_cast<double>(r.reads_timed_out + r.writes_timed_out);
+  });
+  m.op_retries =
+      over_runs(runs, [](const auto& r) { return static_cast<double>(r.op_retries); });
   m.violation_rate =
       over_runs(runs, [](const auto& r) { return r.regularity.violation_rate(); });
   m.reads_of_bottom =

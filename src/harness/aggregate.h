@@ -32,6 +32,11 @@ struct Aggregate {
 /// Summarizes `samples` (order irrelevant). An empty vector yields all zeros.
 Aggregate aggregate(std::vector<double> samples);
 
+/// Nearest-rank percentile over non-empty sorted samples:
+/// sorted[min(n-1, floor(p*n))] — the one convention used everywhere
+/// (per-run latency percentiles and cross-seed Aggregate percentiles).
+double percentile(const std::vector<double>& sorted, double p);
+
 /// Everything dynreg_exp reports per sweep point: one Aggregate per scalar
 /// metric, plus the non-averageable safety counters.
 struct AggregatedMetrics {
@@ -41,12 +46,19 @@ struct AggregatedMetrics {
   Aggregate write_completion;
   Aggregate join_completion;
   Aggregate read_latency;       // over per-seed means
+  Aggregate read_latency_p50;   // over per-seed p50s
   Aggregate read_latency_p99;   // over per-seed p99s
   Aggregate write_latency;
+  Aggregate write_latency_p50;
+  Aggregate write_latency_p99;
   Aggregate join_latency;
   Aggregate violation_rate;
   Aggregate reads_of_bottom;
   Aggregate min_active_3delta;
+  /// Per-seed failed attempts by typed outcome (reads + writes combined).
+  Aggregate ops_dropped;
+  Aggregate ops_timed_out;
+  Aggregate op_retries;
 
   /// Regularity violations summed over every seed. Any nonzero value means
   /// some run's register was unsafe, however good the mean rate looks.

@@ -5,11 +5,14 @@
 #include <utility>
 #include <vector>
 
+#include "client/client.h"
 #include "consistency/history.h"
+#include "harness/aggregate.h"
 #include "dynreg/abd_register.h"
 #include "dynreg/es_register.h"
 #include "dynreg/register_node.h"
 #include "dynreg/sync_register.h"
+#include "harness/workload.h"
 #include "net/delay_model.h"
 #include "net/network.h"
 
@@ -78,106 +81,6 @@ std::vector<sim::ProcessId> designated_writers(const ExperimentConfig& cfg) {
   return writers;
 }
 
-/// Open-loop traffic generator + operation bookkeeping.
-class Driver {
- public:
-  Driver(const ExperimentConfig& cfg, sim::Simulation& sim, churn::System& system,
-         consistency::History& history)
-      : cfg_(cfg),
-        sim_(sim),
-        system_(system),
-        history_(history),
-        writers_(designated_writers(cfg)) {}
-
-  void start() {
-    schedule_read_tick();
-    if (!writers_.empty()) schedule_write_tick();
-  }
-
-  // Results, harvested after the run.
-  MetricsReport& report() { return report_; }
-  std::vector<double>& read_latencies() { return read_latencies_; }
-  double write_latency_total() const { return write_latency_total_; }
-
- private:
-  void schedule_read_tick() {
-    const sim::Time next = sim_.now() + cfg_.workload.read_interval;
-    if (next >= cfg_.duration) return;
-    sim_.schedule_at(next, [this] {
-      issue_read();
-      schedule_read_tick();
-    });
-  }
-
-  void schedule_write_tick() {
-    const sim::Time next = sim_.now() + cfg_.workload.write_interval;
-    if (next >= cfg_.duration) return;
-    sim_.schedule_at(next, [this] {
-      for (const sim::ProcessId w : writers_) issue_write(w);
-      schedule_write_tick();
-    });
-  }
-
-  void issue_read() {
-    const auto actives = system_.active_ids();
-    if (actives.empty()) return;
-    const sim::ProcessId reader =
-        actives[static_cast<std::size_t>(sim_.rng().uniform_int(0, actives.size() - 1))];
-    auto* reg = dynamic_cast<RegisterNode*>(system_.find(reader));
-    if (reg == nullptr) return;
-
-    ++report_.reads_issued;
-    const sim::Time begun = sim_.now();
-    const auto op = history_.begin_read(reader, begun);
-    reg->read([this, op, begun](Value v) {
-      history_.complete_read(op, sim_.now(), v);
-      ++report_.reads_completed;
-      if (v == kBottom) ++report_.reads_of_bottom;
-      read_latencies_.push_back(static_cast<double>(sim_.now() - begun));
-    });
-  }
-
-  void issue_write(sim::ProcessId writer) {
-    // Keep each writer (mostly) sequential: skip the tick while a write is
-    // outstanding, unless it has been stuck for two intervals — then keep
-    // issuing so a blocked system shows up as a collapsing completion rate
-    // rather than a frozen issue count.
-    auto& outstanding = outstanding_writes_[writer];
-    if (!outstanding.empty() &&
-        sim_.now() - outstanding.front() < 2 * cfg_.workload.write_interval) {
-      return;
-    }
-    auto* reg = dynamic_cast<RegisterNode*>(system_.find(writer));
-    if (reg == nullptr) return;
-
-    const Value v = next_value_++;
-    ++report_.writes_issued;
-    const sim::Time begun = sim_.now();
-    outstanding.push_back(begun);
-    const auto op = history_.begin_write(writer, begun, v);
-    reg->write(v, [this, op, begun, writer] {
-      history_.complete_write(op, sim_.now());
-      ++report_.writes_completed;
-      write_latency_total_ += static_cast<double>(sim_.now() - begun);
-      auto& pending = outstanding_writes_[writer];
-      pending.erase(std::find(pending.begin(), pending.end(), begun));
-    });
-  }
-
-  const ExperimentConfig& cfg_;
-  sim::Simulation& sim_;
-  churn::System& system_;
-  consistency::History& history_;
-
-  std::vector<sim::ProcessId> writers_;
-  std::map<sim::ProcessId, std::vector<sim::Time>> outstanding_writes_;
-  Value next_value_ = 1;
-
-  MetricsReport report_;
-  std::vector<double> read_latencies_;
-  double write_latency_total_ = 0.0;
-};
-
 }  // namespace
 
 MetricsReport run_experiment(const ExperimentConfig& cfg) {
@@ -200,13 +103,28 @@ MetricsReport run_experiment(const ExperimentConfig& cfg) {
   }
 
   churn::System system(sim, net, sys_cfg, std::move(churn_model), build_factory(cfg));
-  Driver driver(cfg, sim, system, history);
+  client::Client client(sim, system, history, cfg.duration);
+  std::unique_ptr<workload::Generator> generator = workload::make_generator(
+      workload::Env{sim, system, client, cfg.workload, cfg.duration,
+                    designated_writers(cfg)});
 
   system.bootstrap();
-  driver.start();
+  generator->start();
   sim.run_until(cfg.duration);
 
-  MetricsReport report = std::move(driver.report());
+  MetricsReport report;
+  const client::OpStats& ops = client.stats();
+  report.reads_issued = ops.reads_issued;
+  report.reads_completed = ops.reads_completed;
+  report.reads_of_bottom = ops.reads_of_bottom;
+  report.writes_issued = ops.writes_issued;
+  report.writes_completed = ops.writes_completed;
+  report.reads_dropped = ops.reads_dropped;
+  report.writes_dropped = ops.writes_dropped;
+  report.reads_timed_out = ops.reads_timed_out;
+  report.writes_timed_out = ops.writes_timed_out;
+  report.op_retries = ops.retries;
+
   report.joins_started = system.joins_started();
   report.joins_completed = system.joins_completed();
   report.joins_abandoned = system.joins_abandoned();
@@ -216,21 +134,26 @@ MetricsReport run_experiment(const ExperimentConfig& cfg) {
           : static_cast<double>(system.join_latency_total()) /
                 static_cast<double>(system.joins_completed());
 
-  auto& lat = driver.read_latencies();
-  if (!lat.empty()) {
+  std::vector<double> read_lat = std::move(client.stats().read_latencies);
+  if (!read_lat.empty()) {
     double total = 0.0;
-    for (const double l : lat) total += l;
-    report.read_latency_mean = total / static_cast<double>(lat.size());
-    std::sort(lat.begin(), lat.end());
-    const std::size_t idx =
-        std::min(lat.size() - 1,
-                 static_cast<std::size_t>(0.99 * static_cast<double>(lat.size())));
-    report.read_latency_p99 = lat[idx];
+    for (const double l : read_lat) total += l;
+    report.read_latency_mean = total / static_cast<double>(read_lat.size());
+    std::sort(read_lat.begin(), read_lat.end());
+    report.read_latency_p50 = percentile(read_lat, 0.50);
+    report.read_latency_p99 = percentile(read_lat, 0.99);
   }
-  report.write_latency_mean =
-      report.writes_completed == 0
-          ? 0.0
-          : driver.write_latency_total() / static_cast<double>(report.writes_completed);
+  std::vector<double> write_lat = std::move(client.stats().write_latencies);
+  if (!write_lat.empty()) {
+    double total = 0.0;
+    for (const double l : write_lat) total += l;
+    // The mean divides by writes_completed (== sample count): the formula
+    // the pre-client driver used, kept bit-for-bit.
+    report.write_latency_mean = total / static_cast<double>(report.writes_completed);
+    std::sort(write_lat.begin(), write_lat.end());
+    report.write_latency_p50 = percentile(write_lat, 0.50);
+    report.write_latency_p99 = percentile(write_lat, 0.99);
+  }
 
   const auto& chron = system.chronicle();
   report.majority_active_always = chron.min_active_at(cfg.duration) * 2 > cfg.n;

@@ -8,7 +8,7 @@
 
 #include "churn/system.h"
 #include "harness/metrics.h"
-#include "harness/workload.h"
+#include "harness/workload_config.h"
 #include "sim/simulation.h"
 
 namespace dynreg::harness {
@@ -61,7 +61,7 @@ struct ExperimentConfig {
   /// interval (heals replicas behind lossy channels; not in the paper).
   std::optional<sim::Duration> sync_refresh_interval;
 
-  workload::Config workload;  ///< Open-loop read/write traffic description.
+  workload::Config workload;  ///< Traffic description + engine (open/closed/bursty).
 
   /// Theorem 1's sufficient churn bound for the synchronous protocol.
   double sync_churn_threshold() const { return 1.0 / (3.0 * static_cast<double>(delta)); }

@@ -24,17 +24,32 @@ struct MetricsReport {
   std::uint64_t writes_issued = 0;
   std::uint64_t writes_completed = 0;
 
+  // Typed failure outcomes (client layer; counts failed *attempts*).
+  /// Attempts resolved kDroppedOnDeparture: the hosting node left mid-op.
+  std::uint64_t reads_dropped = 0;
+  std::uint64_t writes_dropped = 0;
+  /// Attempts resolved kTimedOut by a client-armed per-op deadline.
+  std::uint64_t reads_timed_out = 0;
+  std::uint64_t writes_timed_out = 0;
+  /// Re-issued attempts under a client RetryPolicy.
+  std::uint64_t op_retries = 0;
+
   // Joins (non-bootstrap processes only).
   std::uint64_t joins_started = 0;
   std::uint64_t joins_completed = 0;
   /// Joiners churned out before their join could complete.
   std::uint64_t joins_abandoned = 0;
 
-  // Latencies (ticks; means over completed operations).
+  // Latencies (ticks; client-perceived invoke-to-response over completed
+  // operations — closed-loop session queue wait included). Percentiles are
+  // nearest-rank per op type.
   double read_latency_mean = 0.0;
+  double read_latency_p50 = 0.0;
   /// Nearest-rank p99 over this run's completed reads.
   double read_latency_p99 = 0.0;
   double write_latency_mean = 0.0;
+  double write_latency_p50 = 0.0;
+  double write_latency_p99 = 0.0;
   double join_latency_mean = 0.0;
 
   // Ground-truth active-set measurements over the run.

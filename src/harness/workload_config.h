@@ -1,0 +1,58 @@
+// The workload *description* — engine kind and traffic parameters — split
+// from the engine implementations (harness/workload.h) so config-only
+// consumers (ExperimentConfig, the bench registry) don't pull the client
+// and system stack into every translation unit.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/event_queue.h"
+
+namespace dynreg::workload {
+
+/// Which engine shapes the read traffic (see harness/workload.h for the
+/// engines themselves).
+enum class Kind {
+  kOpenLoop,
+  kClosedLoop,
+  kBursty,
+};
+
+const char* to_string(Kind k);
+
+/// Who writes.
+enum class WriterMode {
+  kSingle,      ///< The paper's model: one designated writer (process 0).
+  kConcurrent,  ///< Section 7 extension: several simultaneous writers.
+};
+
+/// Traffic description. Writers are pinned (exempt from churn, as in the
+/// paper where the writer stays in the system) unless writes are disabled —
+/// then nobody is exempt and the register value must survive churn on its
+/// own.
+struct Config {
+  Kind kind = Kind::kOpenLoop;
+
+  /// Open-loop/bursty: a read is issued from a uniformly random active
+  /// process every interval.
+  sim::Duration read_interval = 10;
+  /// Writes are issued every interval (by every writer, in concurrent mode).
+  sim::Duration write_interval = 50;
+  bool writes_enabled = true;
+  WriterMode writer_mode = WriterMode::kSingle;
+  /// Number of designated writers in concurrent mode (ids 0..k-1).
+  std::size_t concurrent_writers = 2;
+
+  /// Closed-loop: number of concurrent ClientSessions.
+  std::size_t clients = 4;
+  /// Closed-loop: ticks a session waits between a resolution and its next
+  /// op (0 behaves as 1 — see client::ClientSession::Config).
+  sim::Duration think_time = 5;
+
+  /// Bursty: ticks of open-loop traffic per phase...
+  sim::Duration burst_on = 200;
+  /// ...followed by ticks of silence.
+  sim::Duration burst_off = 200;
+};
+
+}  // namespace dynreg::workload

@@ -13,6 +13,12 @@ class Node {
 
   virtual void on_message(sim::ProcessId from, const net::Payload& payload) = 0;
 
+  /// Called by churn::System when this node departs, after its timers are
+  /// cancelled and its network slot detached but before it is destroyed.
+  /// Protocols override it to resolve every in-flight operation with
+  /// OpOutcome::kDroppedOnDeparture instead of leaking the completions.
+  virtual void on_departure() {}
+
   sim::ProcessId id() const { return id_; }
 
  private:

@@ -1,159 +1,15 @@
-// InlineTask: a move-only type-erased `void()` callable with fixed in-place
-// storage. The simulation schedules millions of small lambdas per run;
-// std::function heap-allocates any capture larger than its (implementation-
-// defined, typically 16-byte) small-buffer, which made every scheduled
-// message delivery an allocation. InlineTask stores captures up to
-// kInlineCapacity bytes directly inside the object and only falls back to
-// the heap for oversized captures — none of the library's own lambdas need
-// the fallback (a static_assert on the per-message delivery closure in
-// Network::transmit guards the hottest one, and the InlineTask tests pin
-// the boundary).
-//
-// The type is deliberately minimal: construct from a callable, move, invoke
-// once or many times, destroy. No copy, no target introspection, no
-// allocator awareness — it exists purely to make the event hot path
-// allocation-free.
+// InlineTask: the scheduler's move-only type-erased `void()` callable with
+// fixed in-place storage — an alias of the generalized InlineFunction (see
+// sim/inline_function.h for the design notes and capture-budget rationale).
+// Event-queue slots, slab pools, and every schedule_* call site use this
+// name; the typed operation-completion callables of the register API use
+// other InlineFunction instantiations of the same template.
 #pragma once
 
-#include <cstddef>
-#include <cstring>
-#include <new>
-#include <type_traits>
-#include <utility>
+#include "sim/inline_function.h"
 
 namespace dynreg::sim {
 
-class InlineTask {
- public:
-  /// In-place capture budget, chosen so sizeof(InlineTask) is exactly one
-  /// 64-byte cache line (vtable pointer + storage). 48 bytes fits every
-  /// scheduler lambda in the library; the largest — a liveness token plus a
-  /// moved-in std::function completion callback — is 48 bytes.
-  static constexpr std::size_t kInlineCapacity = 48;
-
-  InlineTask() = default;
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineTask> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineTask(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
-    init(std::forward<F>(fn));
-  }
-
-  /// Replaces the current callable, constructing the new one in place (the
-  /// pool's hot path: no temporary InlineTask, no relocate call).
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineTask> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  void assign(F&& fn) {
-    reset();
-    init(std::forward<F>(fn));
-  }
-
-  InlineTask(InlineTask&& other) noexcept : ops_(other.ops_) {
-    if (ops_ != nullptr) {
-      relocate_from(other);
-      other.ops_ = nullptr;
-    }
-  }
-
-  InlineTask& operator=(InlineTask&& other) noexcept {
-    if (this != &other) {
-      reset();
-      ops_ = other.ops_;
-      if (ops_ != nullptr) {
-        relocate_from(other);
-        other.ops_ = nullptr;
-      }
-    }
-    return *this;
-  }
-
-  InlineTask(const InlineTask&) = delete;
-  InlineTask& operator=(const InlineTask&) = delete;
-
-  ~InlineTask() { reset(); }
-
-  explicit operator bool() const { return ops_ != nullptr; }
-
-  /// True when the callable lives in the in-place buffer (exposed so tests
-  /// can pin the no-allocation property of the library's own lambdas).
-  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
-
-  void operator()() { ops_->invoke(storage_); }
-
-  void reset() {
-    if (ops_ != nullptr) {
-      if (!ops_->trivial) ops_->destroy(storage_);
-      ops_ = nullptr;
-    }
-  }
-
- private:
-  template <typename F>
-  void init(F&& fn) {
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineCapacity &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
-      ops_ = &inline_ops<Fn>;
-    } else {
-      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
-      ops_ = &heap_ops<Fn>;
-    }
-  }
-
-  // Per-callable-type operation table: one static instance per Fn, so the
-  // task itself is just {vtable pointer, storage}.
-  struct Ops {
-    void (*invoke)(unsigned char* storage);
-    // Move-constructs into dst from src, then destroys src's callable.
-    void (*relocate)(unsigned char* dst, unsigned char* src);
-    void (*destroy)(unsigned char* storage);
-    bool inline_storage;
-    // Trivially copyable + destructible capture: relocation is a fixed-size
-    // memcpy and destruction a no-op, with no indirect calls. True for the
-    // bulk of scheduler lambdas (captures of ints, pointers, references).
-    bool trivial;
-  };
-
-  void relocate_from(InlineTask& other) {
-    if (ops_->trivial) {
-      std::memcpy(storage_, other.storage_, kInlineCapacity);
-    } else {
-      ops_->relocate(storage_, other.storage_);
-    }
-  }
-
-  template <typename Fn>
-  static constexpr Ops inline_ops = {
-      [](unsigned char* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
-      [](unsigned char* dst, unsigned char* src) {
-        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
-        ::new (static_cast<void*>(dst)) Fn(std::move(*from));
-        from->~Fn();
-      },
-      [](unsigned char* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
-      true,
-      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>,
-  };
-
-  template <typename Fn>
-  static constexpr Ops heap_ops = {
-      [](unsigned char* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
-      [](unsigned char* dst, unsigned char* src) {
-        *reinterpret_cast<Fn**>(dst) = *std::launder(reinterpret_cast<Fn**>(src));
-      },
-      [](unsigned char* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
-      false,
-      false,
-  };
-
-  const Ops* ops_ = nullptr;
-  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
-};
+using InlineTask = InlineFunction<void()>;
 
 }  // namespace dynreg::sim

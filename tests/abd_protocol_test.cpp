@@ -37,8 +37,10 @@ TEST(AbdProtocol, SingleReplicaSystemCompletesViaSelfQuorum) {
   ASSERT_NE(reg, nullptr);
   bool wrote = false;
   std::optional<Value> got;
-  reg->write(9, [&wrote] { wrote = true; });
-  reg->read([&got](Value v) { got = v; });
+  reg->write(OpContext{}, 9, [&wrote](OpOutcome o) { wrote = o == OpOutcome::kOk; });
+  reg->read(OpContext{}, [&got](OpOutcome o, Value v) {
+    if (o == OpOutcome::kOk) got = v;
+  });
   sim.run_until(50);
   EXPECT_TRUE(wrote);
   ASSERT_TRUE(got.has_value());
@@ -60,18 +62,21 @@ TEST(AbdProtocol, WriteTimestampsAdvancePastObservedOnes) {
   // writer 0's updates, so its next write must supersede them rather than
   // being acked-but-never-stored.
   for (Value v = 1; v <= 3; ++v) {
-    w0->write(v * 10, [] {});
+    w0->write(OpContext{}, v * 10, [](OpOutcome) {});
     sim.run_until(sim.now() + 10);
   }
   bool w1_done = false;
-  w1->write(77, [&w1_done] { w1_done = true; });
+  w1->write(OpContext{}, 77,
+            [&w1_done](OpOutcome o) { w1_done = o == OpOutcome::kOk; });
   sim.run_until(sim.now() + 20);
   ASSERT_TRUE(w1_done);
 
   std::optional<Value> got;
   auto* reader = dynamic_cast<RegisterNode*>(system.find(3));
   ASSERT_NE(reader, nullptr);
-  reader->read([&got](Value v) { got = v; });
+  reader->read(OpContext{}, [&got](OpOutcome o, Value v) {
+    if (o == OpOutcome::kOk) got = v;
+  });
   sim.run_until(sim.now() + 20);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, 77);

@@ -35,7 +35,8 @@ TEST(EsProtocol, ReadBlockedBeforeGstCompletesAfterGst) {
   ASSERT_NE(reader, nullptr);
   std::optional<Value> got;
   std::optional<sim::Time> completed_at;
-  reader->read([&](Value v) {
+  reader->read(OpContext{}, [&](OpOutcome o, Value v) {
+    ASSERT_EQ(o, OpOutcome::kOk);
     got = v;
     completed_at = sim.now();
   });
@@ -72,8 +73,10 @@ TEST(EsProtocol, SingleNodeSystemCompletesViaSelfQuorum) {
   ASSERT_NE(reg, nullptr);
   bool wrote = false;
   std::optional<Value> got;
-  reg->write(7, [&wrote] { wrote = true; });
-  reg->read([&got](Value v) { got = v; });
+  reg->write(OpContext{}, 7, [&wrote](OpOutcome o) { wrote = o == OpOutcome::kOk; });
+  reg->read(OpContext{}, [&got](OpOutcome o, Value v) {
+    if (o == OpOutcome::kOk) got = v;
+  });
   sim.run_until(50);
   EXPECT_TRUE(wrote);
   ASSERT_TRUE(got.has_value());

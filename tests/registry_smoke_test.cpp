@@ -9,12 +9,12 @@
 namespace dynreg::bench {
 namespace {
 
-TEST(Registry, AllTwelveExperimentsRegistered) {
+TEST(Registry, AllThirteenExperimentsRegistered) {
   const auto all = ExperimentRegistry::instance().list();
-  ASSERT_EQ(all.size(), 12u);
+  ASSERT_EQ(all.size(), 13u);
   // Ordered by paper-experiment id.
   EXPECT_EQ(all.front()->id, "E1");
-  EXPECT_EQ(all.back()->id, "E12");
+  EXPECT_EQ(all.back()->id, "E13");
   for (const Experiment* e : all) {
     EXPECT_FALSE(e->name.empty());
     EXPECT_FALSE(e->paper_ref.empty());

@@ -72,7 +72,8 @@ TEST(SyncProtocol, JoinerAdoptsCurrentValue) {
   auto* writer = dynamic_cast<RegisterNode*>(system.find(0));
   ASSERT_NE(writer, nullptr);
   bool write_done = false;
-  writer->write(42, [&write_done] { write_done = true; });
+  writer->write(OpContext{}, 42,
+                [&write_done](OpOutcome o) { write_done = o == OpOutcome::kOk; });
   sim.run_until(20);
   ASSERT_TRUE(write_done);
 

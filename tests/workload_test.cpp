@@ -1,0 +1,135 @@
+// The pluggable workload engines: closed-loop sessions pace themselves by
+// think time and produce monotone latency growth in the client count;
+// bursty gates open-loop traffic by its on/off phases; every engine keeps
+// the run deterministic per (config, seed).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace dynreg {
+namespace {
+
+harness::ExperimentConfig closed_loop_base() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kEventuallySync;
+  cfg.timing = harness::Timing::kSynchronous;
+  cfg.n = 8;
+  cfg.delta = 5;
+  cfg.duration = 2000;
+  cfg.churn_kind = harness::ChurnKind::kNone;
+  cfg.seed = 11;
+  cfg.workload.kind = workload::Kind::kClosedLoop;
+  cfg.workload.think_time = 2;
+  cfg.workload.write_interval = 40;
+  return cfg;
+}
+
+TEST(Workload, ClosedLoopLatencyGrowsWithClientCount) {
+  auto cfg = closed_loop_base();
+  cfg.workload.clients = 1;
+  const auto one = harness::run_experiment(cfg);
+  cfg.workload.clients = 8;
+  const auto eight = harness::run_experiment(cfg);
+
+  ASSERT_GT(one.reads_completed, 50u);
+  ASSERT_GT(eight.reads_completed, one.reads_completed);
+  // One client never queues; eight clients over eight processes collide and
+  // wait — the closed-loop saturation shape E13 sweeps.
+  EXPECT_GT(eight.read_latency_mean, one.read_latency_mean + 1.0);
+  EXPECT_GE(eight.read_latency_p99, one.read_latency_p99);
+}
+
+TEST(Workload, ClosedLoopSessionPacesByThinkTime) {
+  // Sync protocol: reads resolve instantly, so one session's cycle is
+  // exactly one think interval — issue counts are duration/think, +-1.
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kSync;
+  cfg.n = 5;
+  cfg.delta = 5;
+  cfg.duration = 1000;
+  cfg.churn_kind = harness::ChurnKind::kNone;
+  cfg.seed = 3;
+  cfg.workload.kind = workload::Kind::kClosedLoop;
+  cfg.workload.clients = 1;
+  cfg.workload.think_time = 10;
+  cfg.workload.writes_enabled = false;
+
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_GE(r.reads_issued, 99u);
+  EXPECT_LE(r.reads_issued, 101u);
+  EXPECT_EQ(r.reads_completed, r.reads_issued);
+  EXPECT_EQ(r.read_latency_mean, 0.0);  // fast reads, no contention
+}
+
+TEST(Workload, ClosedLoopThinkZeroOnInstantaneousReadsTerminates) {
+  // Regression: sync reads resolve inside the invocation; with think 0 a
+  // session must still advance the clock each cycle (think 0 behaves as 1)
+  // instead of re-issuing at the same timestamp forever.
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kSync;
+  cfg.n = 4;
+  cfg.delta = 5;
+  cfg.duration = 200;
+  cfg.churn_kind = harness::ChurnKind::kNone;
+  cfg.seed = 2;
+  cfg.workload.kind = workload::Kind::kClosedLoop;
+  cfg.workload.clients = 2;
+  cfg.workload.think_time = 0;
+  cfg.workload.writes_enabled = false;
+
+  const auto r = harness::run_experiment(cfg);  // must return, not hang
+  EXPECT_GE(r.reads_issued, 2u * 199u);  // one per tick per session
+  EXPECT_LE(r.reads_issued, 2u * 200u);
+  EXPECT_EQ(r.reads_completed, r.reads_issued);
+}
+
+TEST(Workload, BurstyIssuesReadsOnlyDuringOnPhases) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kSync;
+  cfg.n = 10;
+  cfg.delta = 5;
+  cfg.duration = 2000;
+  cfg.churn_kind = harness::ChurnKind::kNone;
+  cfg.seed = 5;
+  cfg.workload.read_interval = 5;
+  cfg.workload.write_interval = 50;
+
+  cfg.workload.kind = workload::Kind::kOpenLoop;
+  const auto open = harness::run_experiment(cfg);
+
+  cfg.workload.kind = workload::Kind::kBursty;
+  cfg.workload.burst_on = 100;
+  cfg.workload.burst_off = 300;
+  const auto bursty = harness::run_experiment(cfg);
+
+  ASSERT_GT(open.reads_issued, 300u);
+  // A quarter of the ticks are on-phase; allow slack for phase boundaries.
+  EXPECT_LT(bursty.reads_issued, open.reads_issued / 2);
+  EXPECT_GT(bursty.reads_issued, open.reads_issued / 8);
+  // The writer stream is not gated by the bursts.
+  EXPECT_EQ(bursty.writes_issued, open.writes_issued);
+}
+
+TEST(Workload, EnginesAreDeterministicPerSeed) {
+  for (const workload::Kind kind :
+       {workload::Kind::kOpenLoop, workload::Kind::kClosedLoop,
+        workload::Kind::kBursty}) {
+    auto cfg = closed_loop_base();
+    cfg.workload.kind = kind;
+    cfg.workload.clients = 4;
+    cfg.duration = 800;
+    cfg.churn_kind = harness::ChurnKind::kConstant;
+    cfg.churn_rate = 0.01;
+    const auto a = harness::run_experiment(cfg);
+    const auto b = harness::run_experiment(cfg);
+    EXPECT_EQ(a.reads_issued, b.reads_issued);
+    EXPECT_EQ(a.reads_completed, b.reads_completed);
+    EXPECT_EQ(a.reads_dropped, b.reads_dropped);
+    EXPECT_EQ(a.read_latency_mean, b.read_latency_mean);
+    EXPECT_EQ(a.read_latency_p99, b.read_latency_p99);
+    EXPECT_EQ(a.msgs_by_type, b.msgs_by_type);
+  }
+}
+
+}  // namespace
+}  // namespace dynreg
