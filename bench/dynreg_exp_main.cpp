@@ -92,62 +92,62 @@ int cmd_run(const std::vector<std::string>& args) {
         return 2;
       }
       opts.seeds = *n;
-    } else if (auto v = flag_value(arg, "--jobs")) {
-      const auto n = parse_count(*v);
+    } else if (auto vj = flag_value(arg, "--jobs")) {
+      const auto n = parse_count(*vj);
       if (!n) {
-        std::cerr << "bad --jobs value: " << *v << "\n";
+        std::cerr << "bad --jobs value: " << *vj << "\n";
         return 2;
       }
       opts.jobs = *n;
-    } else if (auto v = flag_value(arg, "--format")) {
-      if (*v == "table") {
+    } else if (auto vf = flag_value(arg, "--format")) {
+      if (*vf == "table") {
         format = Format::kTable;
-      } else if (*v == "json") {
+      } else if (*vf == "json") {
         format = Format::kJson;
-      } else if (*v == "csv") {
+      } else if (*vf == "csv") {
         format = Format::kCsv;
       } else {
-        std::cerr << "bad --format value: " << *v << " (table|json|csv)\n";
+        std::cerr << "bad --format value: " << *vf << " (table|json|csv)\n";
         return 2;
       }
-    } else if (auto v = flag_value(arg, "--workload")) {
-      if (*v == "open") {
+    } else if (auto vw = flag_value(arg, "--workload")) {
+      if (*vw == "open") {
         opts.workload.kind = workload::Kind::kOpenLoop;
-      } else if (*v == "closed") {
+      } else if (*vw == "closed") {
         opts.workload.kind = workload::Kind::kClosedLoop;
-      } else if (*v == "bursty") {
+      } else if (*vw == "bursty") {
         opts.workload.kind = workload::Kind::kBursty;
       } else {
-        std::cerr << "bad --workload value: " << *v << " (open|closed|bursty)\n";
+        std::cerr << "bad --workload value: " << *vw << " (open|closed|bursty)\n";
         return 2;
       }
-    } else if (auto v = flag_value(arg, "--clients")) {
-      const auto n = parse_count(*v);
+    } else if (auto vc = flag_value(arg, "--clients")) {
+      const auto n = parse_count(*vc);
       if (!n || *n == 0) {
-        std::cerr << "bad --clients value: " << *v << "\n";
+        std::cerr << "bad --clients value: " << *vc << "\n";
         return 2;
       }
       opts.workload.clients = *n;
-    } else if (auto v = flag_value(arg, "--think")) {
-      const auto n = parse_count(*v);
+    } else if (auto vt = flag_value(arg, "--think")) {
+      const auto n = parse_count(*vt);
       if (!n) {
-        std::cerr << "bad --think value: " << *v << "\n";
+        std::cerr << "bad --think value: " << *vt << "\n";
         return 2;
       }
       opts.workload.think = static_cast<sim::Duration>(*n);
-    } else if (auto v = flag_value(arg, "--burst")) {
-      const auto slash = v->find('/');
-      const auto on = parse_count(v->substr(0, slash));
+    } else if (auto vb = flag_value(arg, "--burst")) {
+      const auto slash = vb->find('/');
+      const auto on = parse_count(vb->substr(0, slash));
       std::optional<std::size_t> off;
-      if (slash != std::string::npos) off = parse_count(v->substr(slash + 1));
+      if (slash != std::string::npos) off = parse_count(vb->substr(slash + 1));
       if (!on || !off) {
-        std::cerr << "bad --burst value: " << *v << " (expected ON/OFF ticks)\n";
+        std::cerr << "bad --burst value: " << *vb << " (expected ON/OFF ticks)\n";
         return 2;
       }
       opts.workload.burst_on = static_cast<sim::Duration>(*on);
       opts.workload.burst_off = static_cast<sim::Duration>(*off);
-    } else if (auto v = flag_value(arg, "--out")) {
-      out_dir = *v;
+    } else if (auto vo = flag_value(arg, "--out")) {
+      out_dir = *vo;
     } else if (arg == "--all") {
       all = true;
     } else if (!arg.empty() && arg[0] == '-') {

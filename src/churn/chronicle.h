@@ -26,7 +26,7 @@ class Chronicle {
   void note_activated(sim::ProcessId id, sim::Time at);
   void note_left(sim::ProcessId id, sim::Time at);
 
-  const std::map<sim::ProcessId, Record>& records() const { return records_; }
+  [[nodiscard]] const std::map<sim::ProcessId, Record>& records() const { return records_; }
 
   /// |A(t)|: processes active at instant t (activated <= t, not yet left).
   std::size_t active_at(sim::Time t) const;

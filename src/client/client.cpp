@@ -247,10 +247,12 @@ void ClientSession::next_op() {
     return;
   }
   ++ops_issued_;
-  client_.session_read(*target, config_.op_options,
-                       [this, pause](const OpHandle&) {
-                         sim_.schedule_after(pause, [this] { next_op(); });
-                       });
+  // Fire-and-forget: the session reacts through the resolution hook and
+  // never inspects the op again, so the handle is intentionally dropped.
+  (void)client_.session_read(*target, config_.op_options,
+                             [this, pause](const OpHandle&) {
+                               sim_.schedule_after(pause, [this] { next_op(); });
+                             });
 }
 
 }  // namespace dynreg::client

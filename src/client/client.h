@@ -90,23 +90,25 @@ struct OpRecord {
 };
 
 /// Non-owning view of an OpRecord; valid for the issuing Client's lifetime.
-class OpHandle {
+/// [[nodiscard]]: a dropped handle is a leaked operation result (issue sites
+/// that intentionally fire-and-forget cast to void and say why).
+class [[nodiscard]] OpHandle {
  public:
   OpHandle() = default;
 
-  bool valid() const { return rec_ != nullptr; }
-  OpId id() const { return rec_->id; }
-  OpType type() const { return rec_->type; }
+  [[nodiscard]] bool valid() const { return rec_ != nullptr; }
+  [[nodiscard]] OpId id() const { return rec_->id; }
+  [[nodiscard]] OpType type() const { return rec_->type; }
   /// Whether the operation has resolved; outcome()/responded_at() are only
   /// meaningful afterwards. Operations pending at the run horizon never
   /// resolve.
-  bool resolved() const { return rec_->resolved; }
-  OpOutcome outcome() const { return rec_->outcome; }
-  sim::Time invoked_at() const { return rec_->invoked_at; }
-  sim::Time responded_at() const { return rec_->responded_at; }
+  [[nodiscard]] bool resolved() const { return rec_->resolved; }
+  [[nodiscard]] OpOutcome outcome() const { return rec_->outcome; }
+  [[nodiscard]] sim::Time invoked_at() const { return rec_->invoked_at; }
+  [[nodiscard]] sim::Time responded_at() const { return rec_->responded_at; }
   /// Written value; for reads, the value returned (kOk resolutions only).
-  Value value() const { return rec_->value; }
-  std::uint32_t attempts() const { return rec_->attempts; }
+  [[nodiscard]] Value value() const { return rec_->value; }
+  [[nodiscard]] std::uint32_t attempts() const { return rec_->attempts; }
 
  private:
   friend class Client;
@@ -174,8 +176,8 @@ class Client {
   Value next_value() { return next_value_++; }
 
   OpStats& stats() { return stats_; }
-  const std::deque<OpRecord>& records() const { return records_; }
-  OpHandle handle(OpId id) const { return OpHandle(&records_[id]); }
+  [[nodiscard]] const std::deque<OpRecord>& records() const { return records_; }
+  [[nodiscard]] OpHandle handle(OpId id) const { return OpHandle(&records_[id]); }
 
  private:
   struct Station {
@@ -232,7 +234,7 @@ class ClientSession {
   /// Issues the session's first operation (call once, before the run).
   void start() { next_op(); }
 
-  std::uint64_t ops_issued() const { return ops_issued_; }
+  [[nodiscard]] std::uint64_t ops_issued() const { return ops_issued_; }
 
  private:
   void next_op();

@@ -45,9 +45,9 @@ class History {
   void complete_read(OpId id, sim::Time at, Value v);
 
   /// All writes; writes()[0] is the initial pseudo-write.
-  const std::vector<WriteOp>& writes() const { return writes_; }
-  const std::vector<ReadOp>& reads() const { return reads_; }
-  Value initial_value() const { return writes_[0].value; }
+  [[nodiscard]] const std::vector<WriteOp>& writes() const { return writes_; }
+  [[nodiscard]] const std::vector<ReadOp>& reads() const { return reads_; }
+  [[nodiscard]] Value initial_value() const { return writes_[0].value; }
 
  private:
   std::vector<WriteOp> writes_;

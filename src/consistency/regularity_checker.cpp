@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
+#include <utility>
 
 namespace dynreg::consistency {
 
@@ -70,12 +70,17 @@ RegularityReport RegularityChecker::check(const History& history) const {
 
   // Writes indexed by value, so the legality test for a read touches only
   // the writes that could have produced its value (the workload driver
-  // issues globally unique values, so typically exactly one).
-  std::unordered_map<Value, std::vector<std::size_t>> writes_by_value;
+  // issues globally unique values, so typically exactly one). A sorted
+  // (value, write index) array + binary search rather than a hash map: the
+  // candidate scan below iterates the per-value bucket, and hash-map bucket
+  // order is whatever the hasher made of it — this keeps the scan in write
+  // order deterministically (and drops the per-node allocations).
+  std::vector<std::pair<Value, std::size_t>> writes_by_value;
   writes_by_value.reserve(writes.size());
   for (std::size_t wi = 0; wi < writes.size(); ++wi) {
-    writes_by_value[writes[wi].value].push_back(wi);
+    writes_by_value.emplace_back(writes[wi].value, wi);
   }
+  std::sort(writes_by_value.begin(), writes_by_value.end());
 
   for (std::size_t ri = 0; ri < reads.size(); ++ri) {
     const auto& r = reads[ri];
@@ -94,15 +99,15 @@ RegularityReport RegularityChecker::check(const History& history) const {
     // The returned value is legal iff some write of that value is either
     // concurrent with the read or completed-before but not superseded.
     bool legal = false;
-    const auto it = writes_by_value.find(r.value);
-    if (it != writes_by_value.end()) {
-      for (const std::size_t wi : it->second) {
-        const auto& w = writes[wi];
-        const bool w_completed_before = w.end && *w.end < r.begin;
-        if (w_completed_before ? *w.end >= latest_begin : w.begin <= *r.end) {
-          legal = true;
-          break;
-        }
+    for (auto it = std::lower_bound(
+             writes_by_value.begin(), writes_by_value.end(), r.value,
+             [](const std::pair<Value, std::size_t>& p, Value v) { return p.first < v; });
+         it != writes_by_value.end() && it->first == r.value; ++it) {
+      const auto& w = writes[it->second];
+      const bool w_completed_before = w.end && *w.end < r.begin;
+      if (w_completed_before ? *w.end >= latest_begin : w.begin <= *r.end) {
+        legal = true;
+        break;
       }
     }
 

@@ -27,14 +27,14 @@ struct Violation {
   std::string detail;
 };
 
-struct RegularityReport {
+struct [[nodiscard]] RegularityReport {
   std::size_t reads_checked = 0;
   /// Pairs of (real) writes whose intervals overlap — the generalized
   /// predicate's concurrency measure, reported by the multi-writer bench.
   std::size_t concurrent_write_pairs = 0;
   std::vector<Violation> violations;
 
-  bool ok() const { return violations.empty(); }
+  [[nodiscard]] bool ok() const { return violations.empty(); }
   double violation_rate() const {
     return reads_checked == 0
                ? 0.0
@@ -51,7 +51,7 @@ class RegularityChecker {
   RegularityReport check(const History& history) const;
 };
 
-struct InversionReport {
+struct [[nodiscard]] InversionReport {
   std::size_t reads_checked = 0;
   std::size_t inversion_count = 0;
 };

@@ -50,7 +50,7 @@ class AbdRegisterNode final : public RegisterNode {
     std::set<sim::ProcessId> ackers;
   };
 
-  std::size_t majority() const { return config_.n / 2 + 1; }
+  [[nodiscard]] std::size_t majority() const { return config_.n / 2 + 1; }
   void apply(const Timestamp& ts, Value v);
   void start_writeback(std::uint64_t rid);
   void maybe_finish_read(std::uint64_t rid);

@@ -60,7 +60,7 @@ class EsRegisterNode final : public RegisterNode {
     std::uint64_t rid = 0;  // owning read, when is_read_writeback
   };
 
-  std::size_t majority() const { return config_.n / 2 + 1; }
+  [[nodiscard]] std::size_t majority() const { return config_.n / 2 + 1; }
   void apply(const Timestamp& ts, Value v);
   void start_join();
   void retransmit_join();

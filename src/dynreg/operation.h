@@ -32,7 +32,7 @@ enum class OpType : std::uint8_t { kRead, kWrite };
 /// How an operation resolved. Every issued operation resolves with exactly
 /// one outcome (or stays pending past the run horizon, which no outcome
 /// describes — the record simply never resolves).
-enum class OpOutcome : std::uint8_t {
+enum class [[nodiscard]] OpOutcome : std::uint8_t {
   kOk = 0,
   kDroppedOnDeparture = 1,
   kTimedOut = 2,

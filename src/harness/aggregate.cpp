@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 
 namespace dynreg::harness {
 
 namespace {
 
+// Every projection below is a captureless lambda, so a plain function
+// pointer erases them without any allocation or indirection table.
 Aggregate over_runs(const std::vector<MetricsReport>& runs,
-                    const std::function<double(const MetricsReport&)>& fn) {
+                    double (*fn)(const MetricsReport&)) {
   std::vector<double> samples;
   samples.reserve(runs.size());
   for (const auto& r : runs) samples.push_back(fn(r));

@@ -163,6 +163,7 @@ MetricsReport run_experiment(const ExperimentConfig& cfg) {
   report.msgs_by_type = net.delivered_by_type();
   report.regularity = consistency::RegularityChecker{}.check(history);
   report.atomicity = consistency::AtomicityChecker{}.check(history);
+  report.trace_hash = sim.trace_hash();
   return report;
 }
 

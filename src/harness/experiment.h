@@ -64,7 +64,7 @@ struct ExperimentConfig {
   workload::Config workload;  ///< Traffic description + engine (open/closed/bursty).
 
   /// Theorem 1's sufficient churn bound for the synchronous protocol.
-  double sync_churn_threshold() const { return 1.0 / (3.0 * static_cast<double>(delta)); }
+  [[nodiscard]] double sync_churn_threshold() const { return 1.0 / (3.0 * static_cast<double>(delta)); }
   /// Section 5's churn constraint for the eventually synchronous protocol.
   double es_churn_threshold() const {
     return 1.0 / (3.0 * static_cast<double>(delta) * static_cast<double>(n));

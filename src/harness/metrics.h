@@ -13,7 +13,7 @@ namespace dynreg::harness {
 /// Everything measured in one run. Produced by run_experiment; cross-seed
 /// summaries live in harness/aggregate.h (which never averages the safety
 /// counters away).
-struct MetricsReport {
+struct [[nodiscard]] MetricsReport {
   // Operations (issued by the workload driver; completion = callback fired
   // before the horizon).
   std::uint64_t reads_issued = 0;
@@ -65,6 +65,12 @@ struct MetricsReport {
   consistency::RegularityReport regularity;
   /// New/old inversion count (regular-vs-atomic distinction, Section 1).
   consistency::InversionReport atomicity;
+
+  /// Event-stream digest of the run (sim::Simulation::trace_hash); 0 in
+  /// builds without DYNREG_AUDIT. Deliberately excluded from the JSON/CSV
+  /// serializers: it is a build-mode-dependent diagnostic, and emitted
+  /// experiment output stays byte-identical across audit on/off.
+  std::uint64_t trace_hash = 0;
 
   double read_completion_rate() const {
     return reads_issued == 0 ? 1.0

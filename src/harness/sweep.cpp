@@ -20,10 +20,10 @@ std::vector<MetricsReport> run_replicas(const ExperimentConfig& base, std::size_
   return runs;
 }
 
-std::vector<SweepPoint> parallel_sweep(
-    const ExperimentConfig& base, const std::vector<double>& xs,
-    const std::function<void(ExperimentConfig&, double)>& configure, std::size_t seeds,
-    std::size_t jobs) {
+std::vector<SweepPoint> parallel_sweep(const ExperimentConfig& base,
+                                       const std::vector<double>& xs,
+                                       const ConfigureFn& configure, std::size_t seeds,
+                                       std::size_t jobs) {
   std::vector<SweepPoint> points(xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
     points[i].x = xs[i];
@@ -43,8 +43,7 @@ std::vector<SweepPoint> parallel_sweep(
 }
 
 std::vector<SweepPoint> sweep(const ExperimentConfig& base, const std::vector<double>& xs,
-                              const std::function<void(ExperimentConfig&, double)>& configure,
-                              std::size_t seeds) {
+                              const ConfigureFn& configure, std::size_t seeds) {
   return parallel_sweep(base, xs, configure, seeds, /*jobs=*/1);
 }
 

@@ -33,7 +33,7 @@ struct SweepPoint {
   std::vector<MetricsReport> runs;   // one per seed, in seed order
 
   /// Full cross-seed distribution summary (see harness/aggregate.h).
-  AggregatedMetrics aggregate() const { return aggregate_metrics(runs); }
+  [[nodiscard]] AggregatedMetrics aggregate() const { return aggregate_metrics(runs); }
 
   double mean_violation_rate() const {
     return mean_of(runs, [](const MetricsReport& r) { return r.regularity.violation_rate(); });
@@ -66,6 +66,12 @@ struct SweepPoint {
 /// (config, replica_seed(base, i)), never by execution order.
 std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t index);
 
+/// Applies one swept knob value to a private config copy. One instance per
+/// sweep call; invoked once per (x, seed) replica setup — configuration
+/// time, never on the simulated event path.
+// dynreg-lint: allow(std-function): one instance per sweep call, invoked at replica setup only
+using ConfigureFn = std::function<void(ExperimentConfig&, double)>;
+
 /// Runs `seeds` replicas of `base` (differing only in seed) across up to
 /// `jobs` worker threads (0 = one per hardware thread). The result vector is
 /// in seed order regardless of jobs.
@@ -77,14 +83,13 @@ std::vector<MetricsReport> run_replicas(const ExperimentConfig& base, std::size_
 /// once (0 = one per hardware thread). Point and run order match the inputs
 /// regardless of jobs. `configure` must be safe to call concurrently (it
 /// only ever mutates the private copy it is handed).
-std::vector<SweepPoint> parallel_sweep(
-    const ExperimentConfig& base, const std::vector<double>& xs,
-    const std::function<void(ExperimentConfig&, double)>& configure, std::size_t seeds,
-    std::size_t jobs);
+std::vector<SweepPoint> parallel_sweep(const ExperimentConfig& base,
+                                       const std::vector<double>& xs,
+                                       const ConfigureFn& configure, std::size_t seeds,
+                                       std::size_t jobs);
 
 /// Single-threaded sweep; identical output to parallel_sweep(..., jobs=1).
 std::vector<SweepPoint> sweep(const ExperimentConfig& base, const std::vector<double>& xs,
-                              const std::function<void(ExperimentConfig&, double)>& configure,
-                              std::size_t seeds);
+                              const ConfigureFn& configure, std::size_t seeds);
 
 }  // namespace dynreg::harness

@@ -22,7 +22,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(sim::InlineTask task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
@@ -44,7 +44,7 @@ std::size_t ThreadPool::resolve_jobs(std::size_t jobs) {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    sim::InlineTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -60,8 +60,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(std::size_t jobs, std::size_t count,
-                  const std::function<void(std::size_t)>& body) {
+void parallel_for(std::size_t jobs, std::size_t count, const IndexBody& body) {
   const std::size_t workers = std::min(ThreadPool::resolve_jobs(jobs), count);
   std::mutex error_mutex;
   std::exception_ptr first_error;

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "sim/inline_task.h"
+
 namespace dynreg::harness {
 
 /// A minimal fixed-size thread pool.
@@ -35,13 +37,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw; wrap anything throwing (see
-  /// parallel_for for the pattern).
-  void submit(std::function<void()> task);
+  /// parallel_for for the pattern). InlineTask keeps the queue slot
+  /// allocation-free for captures within the inline budget.
+  void submit(sim::InlineTask task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
-  std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
   /// Maps a user-facing --jobs value to a worker count: 0 means "one per
   /// hardware thread" (falling back to 1 when the hardware is unknown).
@@ -51,7 +54,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<sim::InlineTask> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;   // workers wait here for tasks
   std::condition_variable idle_;   // wait_idle() waits here
@@ -59,13 +62,18 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Type-erased per-index body for parallel_for. Exactly one is constructed
+/// per parallel_for *call* — every pooled task captures only a reference to
+/// it — so the type-erasure cost is O(sweeps), never per event.
+// dynreg-lint: allow(std-function): one instance per parallel_for call, O(sweeps) not O(events)
+using IndexBody = std::function<void(std::size_t)>;
+
 /// Runs body(0) .. body(count-1) across `jobs` workers (serially when jobs
 /// resolves to 1) and returns when all have finished. Index assignment is
 /// static, so writing results into a pre-sized vector slot `i` from body(i)
 /// is race-free and yields output independent of the worker count — the
 /// determinism contract every caller relies on. The first exception thrown
 /// by any body is rethrown on the calling thread once all bodies finished.
-void parallel_for(std::size_t jobs, std::size_t count,
-                  const std::function<void(std::size_t)>& body);
+void parallel_for(std::size_t jobs, std::size_t count, const IndexBody& body);
 
 }  // namespace dynreg::harness

@@ -24,7 +24,9 @@ void Generator::issue_read() {
   // departure); were that ever broken, the client would surface it as an
   // issued-nothing dropped record rather than a silent skip.
   const auto reader = env_.client.random_active();
-  if (reader) env_.client.read(*reader);
+  // Fire-and-forget: open-loop reads are observed through history/metrics
+  // only, so the handle is intentionally dropped.
+  if (reader) (void)env_.client.read(*reader);
 }
 
 void Generator::issue_write(sim::ProcessId writer) {
@@ -42,11 +44,14 @@ void Generator::issue_write(sim::ProcessId writer) {
   const Value v = env_.client.next_value();
   const sim::Time begun = env_.sim.now();
   outstanding.push_back(begun);
-  env_.client.write(writer, v, {},
-                    [this, writer, begun](const client::OpHandle&) {
-                      auto& pending = outstanding_writes_[writer];
-                      pending.erase(std::find(pending.begin(), pending.end(), begun));
-                    });
+  // Fire-and-forget: outstanding-write bookkeeping runs through the
+  // resolution hook, so the handle is intentionally dropped.
+  (void)env_.client.write(writer, v, {},
+                          [this, writer, begun](const client::OpHandle&) {
+                            auto& pending = outstanding_writes_[writer];
+                            pending.erase(
+                                std::find(pending.begin(), pending.end(), begun));
+                          });
 }
 
 bool Generator::read_tick_allowed(sim::Time) const { return true; }

@@ -3,10 +3,10 @@
 // from a fixed latency to a per-message adversary.
 #pragma once
 
-#include <functional>
 #include <optional>
 
 #include "net/payload.h"
+#include "sim/inline_function.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 
@@ -89,7 +89,10 @@ class EventuallySynchronousDelay final : public DelayModel {
 /// runs.
 class AsyncAdversarialDelay final : public DelayModel {
  public:
-  using Script = std::function<std::optional<sim::Duration>(
+  /// Consulted once per message copy — a hot path, hence InlineFunction
+  /// (oversized adversary captures fall back to one heap block per *model*,
+  /// never per message).
+  using Script = sim::InlineFunction<std::optional<sim::Duration>(
       sim::Time now, sim::ProcessId from, sim::ProcessId to, const Payload& payload)>;
 
   AsyncAdversarialDelay(sim::Duration default_max, Script script)

@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 
 namespace dynreg::net {
@@ -28,7 +29,7 @@ void Network::detach(sim::ProcessId id) {
   Slot& slot = slots_[id];
   if (!slot.attached) return;
   slot.attached = false;
-  slot.handler = nullptr;  // release the closure's resources eagerly
+  slot.handler.reset();  // release the closure's resources eagerly
   ++slot.generation;
   attached_ids_.erase(
       std::lower_bound(attached_ids_.begin(), attached_ids_.end(), id));
@@ -66,6 +67,10 @@ void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payloa
     const PayloadTypeId type = payload->type_id();
     if (type >= delivered_by_type_id_.size()) delivered_by_type_id_.resize(type + 1, 0);
     ++delivered_by_type_id_[type];
+    // Audit builds fold each delivery's shape into the event-stream hash
+    // (no-op otherwise) — a reordered or re-addressed message diverges the
+    // digest even when the counters happen to agree.
+    sim_.audit_note((std::uint64_t{from} << 40) | (std::uint64_t{to} << 16) | type);
     slots_[to].handler(from, *payload);
   };
   // The per-copy delivery closure is THE allocation-rate driver of a run;

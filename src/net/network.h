@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,13 +24,17 @@
 
 #include "net/delay_model.h"
 #include "net/payload.h"
+#include "sim/inline_function.h"
 #include "sim/simulation.h"
 
 namespace dynreg::net {
 
 class Network {
  public:
-  using Handler = std::function<void(sim::ProcessId from, const Payload& payload)>;
+  /// Per-process delivery callback, invoked once per delivered copy — a hot
+  /// path, hence InlineFunction (the attach lambdas capture one node
+  /// pointer, far inside the inline budget; see sim/inline_function.h).
+  using Handler = sim::InlineFunction<void(sim::ProcessId from, const Payload& payload)>;
 
   Network(sim::Simulation& sim, std::unique_ptr<DelayModel> delays)
       : sim_(sim), delays_(std::move(delays)) {}
@@ -70,7 +73,7 @@ class Network {
     std::uint64_t dropped_departed = 0;  // receiver left before delivery
     std::uint64_t dropped_loss = 0;      // omission faults
   };
-  const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Delivered copies per payload type tag, materialized from the interned
   /// per-id counters. Report-time only; the hot path never builds strings.

@@ -24,7 +24,7 @@ class Payload {
   /// re-interns on each call, which is correct for ad-hoc payloads in
   /// tests; real message types override it with a cached id
   /// (src/dynreg/messages.h) so the hot path never touches the registry.
-  virtual PayloadTypeId type_id() const { return PayloadTypeRegistry::intern(type_name()); }
+  [[nodiscard]] virtual PayloadTypeId type_id() const { return PayloadTypeRegistry::intern(type_name()); }
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

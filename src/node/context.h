@@ -6,12 +6,12 @@
 // freed memory.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <utility>
 
 #include "net/network.h"
 #include "net/payload.h"
+#include "sim/inline_task.h"
 #include "sim/simulation.h"
 
 namespace dynreg::node {
@@ -19,15 +19,15 @@ namespace dynreg::node {
 class Context {
  public:
   Context(sim::Simulation& sim, net::Network& net, sim::ProcessId id,
-          std::function<void()> on_active)
+          sim::InlineTask on_active)
       : sim_(sim),
         net_(net),
         id_(id),
         on_active_(std::move(on_active)),
         alive_(std::make_shared<bool>(true)) {}
 
-  sim::Time now() const { return sim_.now(); }
-  sim::ProcessId id() const { return id_; }
+  [[nodiscard]] sim::Time now() const { return sim_.now(); }
+  [[nodiscard]] sim::ProcessId id() const { return id_; }
   sim::Rng& rng() { return sim_.rng(); }
 
   /// Schedules fn after d ticks; silently cancelled if the node leaves first.
@@ -59,7 +59,7 @@ class Context {
   sim::Simulation& sim_;
   net::Network& net_;
   sim::ProcessId id_;
-  std::function<void()> on_active_;
+  sim::InlineTask on_active_;
   std::shared_ptr<bool> alive_;
 };
 

@@ -19,7 +19,7 @@ class Node {
   /// OpOutcome::kDroppedOnDeparture instead of leaking the completions.
   virtual void on_departure() {}
 
-  sim::ProcessId id() const { return id_; }
+  [[nodiscard]] sim::ProcessId id() const { return id_; }
 
  private:
   sim::ProcessId id_;

@@ -102,8 +102,8 @@ class EventQueue {
   /// running event observes the new time. Precondition: !empty().
   void run_top(Time* now_out = nullptr);
 
-  bool empty() const { return size_ == 0; }
-  std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
   Time next_time() const;
@@ -190,12 +190,12 @@ class EventQueue {
     if (bits_[s >> 6] == 0) summary_ &= ~(1ull << (s >> 6));
   }
   std::uint32_t find_next_bucket() const;  // precondition: ring_count_ > 0
-  Time ring_next_time() const { return slot_to_time(find_next_bucket()); }
+  [[nodiscard]] Time ring_next_time() const { return slot_to_time(find_next_bucket()); }
 
   // --- far tier (4-ary implicit heap; children of i are 4i+1 .. 4i+4) ---
   void far_push(EventKey key, std::uint32_t slot);
   FarEntry far_take_top();
-  Time far_next_time() const { return event_key_time(far_.front().key); }
+  [[nodiscard]] Time far_next_time() const { return event_key_time(far_.front().key); }
 
   std::array<Bucket, kWindow> ring_;
   std::array<std::uint64_t, kWords> bits_{};

@@ -88,7 +88,7 @@ class InlineFunction<R(Args...)> {
 
   /// True when the callable lives in the in-place buffer (exposed so tests
   /// can pin the no-allocation property of the library's own lambdas).
-  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+  [[nodiscard]] bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
 
   R operator()(Args... args) {
     return ops_->invoke(storage_, std::forward<Args>(args)...);
@@ -124,15 +124,21 @@ class InlineFunction<R(Args...)> {
     void (*relocate)(unsigned char* dst, unsigned char* src);
     void (*destroy)(unsigned char* storage);
     bool inline_storage;
-    // Trivially copyable + destructible capture: relocation is a fixed-size
-    // memcpy and destruction a no-op, with no indirect calls. True for the
-    // bulk of scheduler lambdas (captures of ints, pointers, references).
+    // Trivially copyable + destructible capture: relocation is a memcpy of
+    // the capture's own bytes and destruction a no-op, with no indirect
+    // calls. True for the bulk of scheduler lambdas (captures of ints,
+    // pointers, references).
     bool trivial;
+    // Bytes the stored representation actually occupies (sizeof the capture
+    // inline, sizeof a pointer for the heap fallback, 0 for captureless
+    // lambdas whose placement-new writes nothing) — the trivial-relocate
+    // memcpy copies exactly this much, never an uninitialized byte.
+    std::size_t size;
   };
 
   void relocate_from(InlineFunction& other) {
     if (ops_->trivial) {
-      std::memcpy(storage_, other.storage_, kInlineCapacity);
+      std::memcpy(storage_, other.storage_, ops_->size);
     } else {
       ops_->relocate(storage_, other.storage_);
     }
@@ -151,6 +157,7 @@ class InlineFunction<R(Args...)> {
       [](unsigned char* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
       true,
       std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>,
+      std::is_empty_v<Fn> ? 0 : sizeof(Fn),
   };
 
   template <typename Fn>
@@ -164,6 +171,7 @@ class InlineFunction<R(Args...)> {
       [](unsigned char* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
       false,
       false,
+      sizeof(Fn*),
   };
 
   const Ops* ops_ = nullptr;

@@ -9,6 +9,10 @@ std::optional<Time> Simulation::next_event_time() const {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
+#ifdef DYNREG_AUDIT
+  audit_note(queue_.next_time());
+  audit_note(++audit_seq_);
+#endif
   queue_.run_top(&now_);  // advances the clock, then executes in place
   return true;
 }

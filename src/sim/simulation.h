@@ -1,9 +1,19 @@
 // Deterministic discrete-event simulation: a virtual clock, a stable event
 // queue, and a seeded RNG. Every source of randomness in a run draws from the
 // one Rng owned here, so a (seed, config) pair fully determines the run.
+//
+// Builds with DYNREG_AUDIT defined additionally accumulate an event-stream
+// hash: every dispatched event folds its (time, dispatch sequence number)
+// into a running splitmix64-style digest, and instrumented layers fold in
+// payload type ids via audit_note(). Two runs with the same (config, seed)
+// must produce the same trace_hash() — any divergence (a stray wall-clock
+// read, an address-dependent container order, a jobs-dependent code path)
+// shows up as a hash mismatch at the first diverging event rather than as a
+// subtly wrong result. See docs/ANALYSIS.md.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <utility>
 
@@ -16,8 +26,46 @@ class Simulation {
  public:
   explicit Simulation(std::uint64_t seed) : rng_(seed) {}
 
-  Time now() const { return now_; }
+  [[nodiscard]] Time now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  /// Whether this build carries the event-stream determinism auditor.
+  static constexpr bool audit_enabled() {
+#ifdef DYNREG_AUDIT
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Folds `v` into the event-stream hash (no-op without DYNREG_AUDIT).
+  /// Instrumented layers call this with values that characterize the event
+  /// stream — the network folds in each delivered payload's type id.
+  void audit_note(std::uint64_t v) {
+#ifdef DYNREG_AUDIT
+    // splitmix64 finalizer over (previous digest ^ value): cheap, and every
+    // input bit diffuses into the whole digest, so the first diverging event
+    // changes the final hash with overwhelming probability.
+    std::uint64_t z = trace_hash_ ^ v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    trace_hash_ = z ^ (z >> 31);
+#else
+    (void)v;
+#endif
+  }
+
+  /// The event-stream digest so far: a function of every dispatched event's
+  /// (time, sequence number) plus everything audit_note()d. Equal across
+  /// same-(config, seed) runs by the determinism contract; 0 when the build
+  /// has no auditor.
+  std::uint64_t trace_hash() const {
+#ifdef DYNREG_AUDIT
+    return trace_hash_;
+#else
+    return 0;
+#endif
+  }
 
   /// Schedules fn at absolute time t (clamped to now if in the past).
   /// Accepts any `void()` callable; small captures are stored without
@@ -51,6 +99,10 @@ class Simulation {
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
+#ifdef DYNREG_AUDIT
+  std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;  // non-zero: "audited, empty"
+  std::uint64_t audit_seq_ = 0;
+#endif
 };
 
 }  // namespace dynreg::sim

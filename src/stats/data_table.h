@@ -44,8 +44,8 @@ class DataTable {
   /// Appends a row; its size must match the column count.
   void add_row(std::vector<Cell> row);
 
-  const std::vector<std::string>& columns() const { return columns_; }
-  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+  [[nodiscard]] const std::vector<std::vector<Cell>>& rows() const { return rows_; }
 
   /// Fixed-width console rendering (header, rule, padded rows).
   std::string to_text() const;

@@ -47,7 +47,7 @@ class JsonWriter {
   void null();
 
   /// The finished document (call after the final end_*).
-  const std::string& str() const { return out_; }
+  [[nodiscard]] const std::string& str() const { return out_; }
 
   /// Shortest round-trip decimal representation; "null" for NaN/inf (JSON
   /// has no spelling for them).

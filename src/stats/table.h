@@ -17,7 +17,7 @@ class Table {
   /// the widest cell and separated by two spaces.
   std::string to_string() const;
 
-  std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
   /// Formats v with fixed `precision` decimals (precision 0: no point).
   static std::string fmt(double v, int precision);

@@ -1,0 +1,103 @@
+// ThreadPool/parallel_for stress: many threads submitting, waiting, and
+// tearing pools down concurrently. The assertions are ordinary, but the
+// real consumer is the TSan preset (cmake --preset tsan) — these tests
+// deliberately provoke the orderings a data race would need: submit racing
+// worker dequeue, wait_idle racing task completion, destruction racing the
+// final tasks, and exception propagation under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/thread_pool.h"
+
+namespace dynreg::harness {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmitters) {
+  // Several producer threads race submit() against the workers' dequeues.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &sum] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  constexpr std::uint64_t kPerProducerSum = kPerProducer * (kPerProducer - 1) / 2;
+  EXPECT_EQ(sum.load(), kProducers * kPerProducerSum);
+}
+
+TEST(ThreadPoolStress, RepeatedWaitIdleUnderLoad) {
+  // wait_idle() must observe a quiescent pool even when it races the last
+  // task's completion; loop to hit many interleavings.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> done{0};
+  for (std::size_t round = 0; round < 100; ++round) {
+    const std::size_t batch = 1 + round % 7;
+    for (std::size_t i = 0; i < batch; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), [&] {
+      std::size_t expect = 0;
+      for (std::size_t r = 0; r <= round; ++r) expect += 1 + r % 7;
+      return expect;
+    }());
+  }
+}
+
+TEST(ThreadPoolStress, ConstructDestroyChurn) {
+  // The destructor drains in-flight tasks; racing it against still-running
+  // tasks is where join/notify bugs live.
+  for (std::size_t round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> ran{0};
+    {
+      ThreadPool pool(2 + round % 3);
+      for (std::size_t i = 0; i < 20; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+      // No wait_idle: the destructor itself must account for every task.
+    }
+    EXPECT_EQ(ran.load(), 20u);
+  }
+}
+
+TEST(ThreadPoolStress, ParallelForAllIndicesOnceUnderContention) {
+  // Static index assignment: every slot written exactly once, any jobs.
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    constexpr std::size_t kCount = 10'000;
+    std::vector<unsigned char> hit(kCount, 0);
+    parallel_for(jobs, kCount, [&hit](std::size_t i) { ++hit[i]; });
+    EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), std::size_t{0}), kCount)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPoolStress, ParallelForPropagatesExceptionUnderContention) {
+  // The first thrown exception must surface on the calling thread after all
+  // bodies finish — the rethrow path synchronizes with every worker.
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      parallel_for(4, 1'000,
+                   [&ran](std::size_t i) {
+                     ran.fetch_add(1, std::memory_order_relaxed);
+                     if (i % 250 == 100) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 1'000u);
+}
+
+}  // namespace
+}  // namespace dynreg::harness

@@ -1,0 +1,320 @@
+#!/usr/bin/env python3
+"""dynreg-lint: the repo's determinism contract as machine-checked rules.
+
+Every invariant ROADMAP.md calls "standing" — per-seed bit-determinism, the
+jobs=1-vs-8 byte-identity gate, sanitizer-clean tests — is only as strong as
+the code patterns that uphold it. This linter bans the patterns that break
+them (see tools/lint/rules/ for the rule set and docs/ANALYSIS.md for the
+contract each rule encodes) and fails the build on any unannotated use.
+
+Suppressing a finding requires an explicit, reasoned annotation on the
+offending line or the line directly above it:
+
+    // dynreg-lint: allow(<rule>): <reason>
+
+An annotation without a reason is itself an error; an annotation that
+suppresses nothing is reported as stale (warning by default, error with
+--strict-annotations) so suppressions cannot outlive the code they excuse.
+
+Usage:
+    dynreg_lint.py [--root DIR] [PATH...]     # lint files/dirs (default: src bench tests)
+    dynreg_lint.py --self-test                # run the golden-fixture suite
+    dynreg_lint.py --list-rules               # print the rule table
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from rules import RULES, Finding, Rule  # noqa: E402
+
+CXX_EXTENSIONS = (".h", ".hpp", ".hh", ".c", ".cc", ".cpp", ".cxx")
+
+ANNOTATION_RE = re.compile(
+    r"//\s*dynreg-lint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\)\s*(?::\s*(\S.*?))?\s*$"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Returns `text` with comment and string/char-literal *contents* blanked.
+
+    Line structure is preserved exactly (every '\n' survives), so findings in
+    the stripped text map 1:1 onto source lines. Rules therefore never fire
+    on prose in comments ("std::function heap-allocates...") or on string
+    literals ("wall-clock").
+    """
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal: R"delim( ... )delim"
+                m = re.match(r'R"([^()\\ \t\n]{0,16})\(', text[max(0, i - 1):i + 18])
+                if i > 0 and text[i - 1] == "R" and m and m.start() == 0:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = RAW_STRING
+                    out.append('"')
+                    i += 1
+                    continue
+                state = STRING
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            elif c == "\\" and nxt == "\n":  # line-continued // comment
+                out.append(" \n")
+                i += 1
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state == STRING:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = NORMAL
+                out.append('"')
+            else:
+                out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state == CHAR:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = NORMAL
+                out.append("'")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == RAW_STRING:
+            if text.startswith(raw_delim, i):
+                out.append(" " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+                state = NORMAL
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+class Annotations:
+    """Per-file `// dynreg-lint: allow(rule): reason` suppressions.
+
+    An annotation covers its own line and, when it is the only thing on its
+    line, the next line as well. `used` tracks consumption so stale
+    suppressions can be reported.
+    """
+
+    def __init__(self, raw_lines: List[str]):
+        # (line, rule) -> used flag; plus annotations missing their reason.
+        self.scopes: Dict[Tuple[int, str], bool] = {}
+        self.missing_reason: List[Tuple[int, str]] = []
+        for lineno, line in enumerate(raw_lines, start=1):
+            m = ANNOTATION_RE.search(line)
+            if not m:
+                continue
+            rule, reason = m.group(1), m.group(2)
+            if not reason:
+                self.missing_reason.append((lineno, rule))
+                continue
+            self.scopes[(lineno, rule)] = False
+            # A standalone annotation line guards the line below it.
+            if line[: m.start()].strip() == "":
+                self.scopes[(lineno + 1, rule)] = False
+
+    def suppresses(self, lineno: int, rule: str) -> bool:
+        for key in ((lineno, rule), (lineno, "all")):
+            if key in self.scopes:
+                self.scopes[key] = True
+                return True
+        return False
+
+    def stale(self) -> List[Tuple[int, str]]:
+        # A standalone annotation registers two scopes (its line + the next);
+        # it is stale only if *neither* was consumed.
+        by_rule: Dict[Tuple[int, str], bool] = {}
+        for (lineno, rule), used in sorted(self.scopes.items()):
+            prev = (lineno - 1, rule)
+            if prev in by_rule:
+                by_rule[prev] = by_rule[prev] or used
+            else:
+                by_rule[(lineno, rule)] = used
+        return [key for key, used in sorted(by_rule.items()) if not used]
+
+
+def lint_file(root: str, relpath: str, strict_annotations: bool) -> List[Finding]:
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(relpath, 0, "io-error", str(e))]
+
+    raw_lines = text.splitlines()
+    stripped_lines = strip_comments_and_strings(text).splitlines()
+    annotations = Annotations(raw_lines)
+
+    findings: List[Finding] = []
+    for lineno, rule in annotations.missing_reason:
+        findings.append(
+            Finding(relpath, lineno, "annotation-syntax",
+                    f"allow({rule}) annotation is missing its reason — write "
+                    f"`// dynreg-lint: allow({rule}): <why this is safe>`"))
+
+    norm = relpath.replace(os.sep, "/")
+    for rule in RULES:
+        if not rule.applies_to(norm):
+            continue
+        for lineno, message in rule.scan(stripped_lines, norm):
+            if annotations.suppresses(lineno, rule.name):
+                continue
+            findings.append(Finding(relpath, lineno, rule.name, message))
+
+    for lineno, rule_name in annotations.stale():
+        msg = (f"stale suppression: allow({rule_name}) matches no finding "
+               f"on this or the next line — delete it")
+        if strict_annotations:
+            findings.append(Finding(relpath, lineno, "stale-annotation", msg))
+        else:
+            print(f"{relpath}:{lineno}: warning: {msg}", file=sys.stderr)
+    return findings
+
+
+def collect_files(root: str, paths: List[str]) -> List[str]:
+    rels: List[str] = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            rels.append(os.path.relpath(full, root))
+        elif os.path.isdir(full):
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(CXX_EXTENSIONS):
+                        rels.append(os.path.relpath(os.path.join(dirpath, name), root))
+        else:
+            print(f"dynreg-lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(rels))
+
+
+def run_lint(root: str, paths: List[str], strict_annotations: bool) -> List[Finding]:
+    findings: List[Finding] = []
+    for rel in collect_files(root, paths):
+        findings.extend(lint_file(root, rel, strict_annotations))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def self_test(script_dir: str) -> int:
+    """Golden-fixture suite: lints tools/lint/testdata/ (a miniature repo
+    tree) and compares the findings against testdata/expected.txt. A rule
+    that stops firing — or fires where it must not — fails here, so a broken
+    rule fails CI instead of silently passing everything."""
+    testdata = os.path.join(script_dir, "testdata")
+    expected_path = os.path.join(testdata, "expected.txt")
+    with open(expected_path, "r", encoding="utf-8") as f:
+        expected = sorted(
+            line.strip() for line in f
+            if line.strip() and not line.lstrip().startswith("#"))
+
+    findings = run_lint(testdata, ["src", "bench", "tests"], strict_annotations=True)
+    actual = sorted(f"{f.path.replace(os.sep, '/')}:{f.line}:{f.rule}" for f in findings)
+
+    ok = True
+    for miss in sorted(set(expected) - set(actual)):
+        print(f"self-test: MISSING expected finding: {miss}")
+        ok = False
+    for extra in sorted(set(actual) - set(expected)):
+        print(f"self-test: UNEXPECTED finding: {extra}")
+        ok = False
+    if not ok:
+        return 1
+    print(f"self-test: OK ({len(expected)} expected findings matched, "
+          f"clean fixtures stayed clean)")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(prog="dynreg-lint", add_help=True)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the golden-fixture rule tests")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--strict-annotations", action="store_true",
+                        help="treat stale allow() annotations as errors")
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to lint (default: src bench tests)")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.list_rules:
+        for rule in RULES:
+            scope = ", ".join(rule.paths) if rule.paths else "all scanned paths"
+            print(f"{rule.name:24} [{scope}]\n    {rule.description}")
+        return 0
+    if args.self_test:
+        return self_test(script_dir)
+
+    root = args.root or os.path.dirname(os.path.dirname(script_dir))
+    paths = args.paths or ["src", "bench", "tests"]
+    findings = run_lint(root, paths, args.strict_annotations)
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"\ndynreg-lint: {len(findings)} finding(s). Fix the pattern or, if "
+              f"it is provably safe, annotate it:\n"
+              f"  // dynreg-lint: allow(<rule>): <reason>\n"
+              f"See docs/ANALYSIS.md for what each rule protects.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,70 @@
+"""Rule set for dynreg-lint.
+
+Each rule module contributes Rule objects to RULES. A Rule scans the
+comment/string-stripped lines of one file and yields (line, message)
+findings; path scoping decides which parts of the tree it guards.
+
+The rule names are part of the annotation contract (they appear in
+`// dynreg-lint: allow(<rule>): <reason>` suppressions), so renaming a rule
+is a breaking change: grep for the old name first.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lintable pattern.
+
+    `paths` is a tuple of path prefixes (relative, '/'-separated) the rule
+    applies to; empty means every scanned file. `pattern` findings use
+    `message`; a rule needing more context than one regex supplies `scanner`
+    instead (same (lines, path) -> iterable of (line, message) contract).
+    """
+
+    name: str
+    description: str
+    message: str = ""
+    pattern: Optional[re.Pattern] = None
+    paths: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+    scanner: Optional[Callable[[List[str], str], Iterable[Tuple[int, str]]]] = None
+
+    def applies_to(self, path: str) -> bool:
+        if any(path.startswith(p) for p in self.exclude):
+            return False
+        return not self.paths or any(path.startswith(p) for p in self.paths)
+
+    def scan(self, lines: List[str], path: str) -> Iterator[Tuple[int, str]]:
+        if self.scanner is not None:
+            yield from self.scanner(lines, path)
+            return
+        assert self.pattern is not None, f"rule {self.name} has no pattern or scanner"
+        for lineno, line in enumerate(lines, start=1):
+            if self.pattern.search(line):
+                yield lineno, self.message
+
+
+from . import api, containers, determinism, hotpath  # noqa: E402
+
+RULES: List[Rule] = [
+    *determinism.RULES,
+    *containers.RULES,
+    *hotpath.RULES,
+    *api.RULES,
+]
+
+_names = [r.name for r in RULES]
+assert len(_names) == len(set(_names)), f"duplicate rule names: {_names}"

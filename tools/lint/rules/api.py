@@ -1,0 +1,69 @@
+"""API-surface rules: handle/outcome/report types must be [[nodiscard]].
+
+An OpHandle dropped on the floor is a leaked operation result; an ignored
+OpOutcome or checker Report is a swallowed failure. Any type whose name ends
+in Handle, Outcome, or Report is a result carrier by this repo's naming
+convention, so its *type* must be declared [[nodiscard]] — then every
+expression that produces one and discards it is a compile-time warning (an
+error under DYNREG_WERROR) at every call site, present and future, with no
+per-function annotation burden.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+from . import Rule
+
+_DECL_RE = re.compile(
+    r"\b(class|struct|enum\s+class|enum\s+struct)\s+"
+    r"((?:[A-Za-z_]\w*::)*[A-Za-z_]\w*(?:Handle|Outcome|Report))\b"
+)
+
+# How far a definition's introducer may be from its '{' (base clauses,
+# wrapped enum-base lines).
+_LOOKAHEAD_LINES = 4
+
+
+def _is_definition(lines: List[str], lineno: int, col: int) -> bool:
+    """True when the declaration starting at (lineno, col) reaches a '{'
+    before a ';' — i.e. it is a definition, not a forward declaration."""
+    tail = lines[lineno - 1][col:]
+    for extra in range(_LOOKAHEAD_LINES):
+        idx = lineno - 1 + extra
+        text = tail if extra == 0 else (lines[idx] if idx < len(lines) else "")
+        for ch in text:
+            if ch == "{":
+                return True
+            if ch == ";":
+                return False
+    return False
+
+
+def _scan_nodiscard(lines: List[str], path: str) -> Iterable[Tuple[int, str]]:
+    for lineno, line in enumerate(lines, start=1):
+        for m in _DECL_RE.finditer(line):
+            if "nodiscard" in line:
+                continue  # `struct [[nodiscard]] X {` (any placement on the line)
+            if not _is_definition(lines, lineno, m.end()):
+                continue  # forward declaration
+            kind, name = m.group(1), m.group(2)
+            yield lineno, (
+                f"{kind} {name} is a result-carrying type (…Handle/…Outcome/…Report "
+                f"suffix) and must be declared [[nodiscard]] so discarded results "
+                f"warn at every call site"
+            )
+
+
+RULES = [
+    Rule(
+        name="nodiscard-outcome",
+        description=(
+            "Types named *Handle/*Outcome/*Report in src/ must be declared "
+            "[[nodiscard]]."
+        ),
+        scanner=_scan_nodiscard,
+        paths=("src/",),
+    ),
+]

@@ -1,0 +1,42 @@
+"""Unordered-container discipline in the library.
+
+std::unordered_map / std::unordered_set iterate in a hash- and
+load-factor-dependent order that varies across standard libraries and across
+inserts, so any loop over one that feeds output, recorded history, or RNG
+draws silently breaks the byte-identity gate. Proving that a given use never
+iterates (pure point lookups) is a per-site argument, so the rule flags
+*every* use in src/ and puts the burden on an explicit annotation:
+
+    // dynreg-lint: allow(unordered-container): <why iteration order cannot
+    // affect results, or why this never iterates>
+
+The deterministic alternatives: a sorted std::vector + binary search (what
+consistency/regularity_checker.cpp uses), std::map, or a dense
+index-keyed std::vector (what net/network.cpp uses for dispatch).
+
+bench/ and tests/ are exempt: they only consume library output, and the
+emitter goldens pin their ordering end to end.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import Rule
+
+RULES = [
+    Rule(
+        name="unordered-container",
+        description=(
+            "Flag every std::unordered_{map,set} use in src/; iteration order is "
+            "non-deterministic, so each use needs a reasoned annotation."
+        ),
+        message=(
+            "std::unordered_* containers iterate in non-deterministic order; use a "
+            "sorted vector / std::map / dense index, or annotate why this use can "
+            "never leak iteration order into results"
+        ),
+        pattern=re.compile(r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\b"),
+        paths=("src/",),
+    ),
+]

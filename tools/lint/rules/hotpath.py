@@ -1,0 +1,39 @@
+"""std::function discipline in the library.
+
+std::function heap-allocates any capture beyond its (implementation-defined,
+typically 16-byte) small-buffer budget. PR 4/5 measured that cost at one
+allocation per scheduled event and per pending operation — the dominant
+allocation-rate driver of a run — and replaced every hot-path callable with
+sim::InlineFunction (48-byte in-place capture, move-only, one cache line).
+
+The rule bans std::function across src/. In the hot-path layers (src/sim/,
+src/net/, src/dynreg/) there is no acceptable use: convert to InlineFunction
+(or a template parameter, as Simulation::schedule_* does). In the cold
+layers (harness sweep configuration, node factories) an annotated use is
+tolerated when the callable is created O(runs) rather than O(events):
+
+    // dynreg-lint: allow(std-function): <cold-path justification>
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import Rule
+
+RULES = [
+    Rule(
+        name="std-function",
+        description=(
+            "Ban std::function in src/ (hot-path layers sim/, net/, dynreg/ must use "
+            "sim::InlineFunction; cold layers may annotate a justified use)."
+        ),
+        message=(
+            "std::function heap-allocates per capture; use sim::InlineFunction (see "
+            "sim/inline_function.h) or a template parameter — cold-path uses need an "
+            "annotated justification"
+        ),
+        pattern=re.compile(r"\bstd\s*::\s*function\s*<"),
+        paths=("src/",),
+    ),
+]

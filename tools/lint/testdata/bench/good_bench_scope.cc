@@ -1,0 +1,21 @@
+// Fixture: bench/ is outside the scope of the src/-only rules
+// (std-function, unordered-container, nodiscard-outcome) — none of these
+// may fire here. The determinism rules still apply everywhere.
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace fixture {
+
+struct BenchReport {  // nodiscard-outcome is src/-scoped: must NOT flag
+  double mean = 0.0;
+};
+
+std::function<double(int)> column;  // std-function is src/-scoped: must NOT flag
+
+double tally(int key) {
+  std::unordered_map<int, double> cells;  // unordered-container is src/-scoped: must NOT flag
+  return cells[key];
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: result-carrying type definitions without [[nodiscard]] must be
+// flagged; forward declarations and annotated definitions must not.
+namespace fixture {
+
+class GoodHandle;  // forward declaration: must NOT flag
+
+struct [[nodiscard]] AnnotatedReport {  // must NOT flag
+  int value = 0;
+};
+
+struct BareReport {  // MUST-FLAG nodiscard-outcome
+  int value = 0;
+};
+
+class BareHandle {  // MUST-FLAG nodiscard-outcome
+ public:
+  int id() const { return id_; }
+
+ private:
+  int id_ = 0;
+};
+
+enum class BareOutcome {  // MUST-FLAG nodiscard-outcome
+  kOk,
+  kFailed,
+};
+
+enum class [[nodiscard]] AnnotatedOutcome {  // must NOT flag
+  kOk,
+};
+
+// A handle-suffixed name with the '{' on a later line is still a definition.
+struct WrappedReport  // MUST-FLAG nodiscard-outcome
+    : BareReport {
+  int extra = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: unannotated std::unordered_* in src/ must be flagged.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int count(std::uint64_t key) {
+  std::unordered_map<std::uint64_t, int> by_key;  // MUST-FLAG unordered-container
+  std::unordered_set<std::uint64_t> seen;         // MUST-FLAG unordered-container
+  seen.insert(key);
+  return by_key[key];
+}
+
+}  // namespace fixture

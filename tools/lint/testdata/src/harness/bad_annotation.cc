@@ -1,0 +1,16 @@
+// Fixture: annotation misuse. A reason-less allow() is an error; an allow()
+// that suppresses nothing is stale (an error under --strict-annotations,
+// which the self-test uses).
+#include <functional>
+
+namespace fixture {
+
+struct Broken {
+  // dynreg-lint: allow(std-function)
+  std::function<void()> no_reason;  // MUST-FLAG std-function (suppression invalid: no reason)
+
+  // dynreg-lint: allow(unordered-container): nothing here uses one
+  int stale_suppression = 0;  // MUST-FLAG stale-annotation (on the line above)
+};
+
+}  // namespace fixture

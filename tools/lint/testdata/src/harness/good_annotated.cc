@@ -1,0 +1,21 @@
+// Fixture: properly annotated suppressions must produce no findings.
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Sweep {
+  // dynreg-lint: allow(std-function): configure runs once per sweep point, not per event
+  std::function<void(double)> configure;
+
+  std::function<void()> post;  // dynreg-lint: allow(std-function): report-time only, O(runs) not O(events)
+};
+
+int lookup(std::size_t key) {
+  // dynreg-lint: allow(unordered-container): point lookups only; never iterated
+  std::unordered_map<std::size_t, int> cache;
+  return cache[key];
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: std::function in a hot-path layer (src/sim/) must be flagged.
+#include <functional>
+
+namespace fixture {
+
+struct Scheduler {
+  std::function<void()> callback;  // MUST-FLAG std-function
+};
+
+void set(Scheduler& s, std::function<void()> cb) {  // MUST-FLAG std-function
+  s.callback = cb;
+}
+
+}  // namespace fixture

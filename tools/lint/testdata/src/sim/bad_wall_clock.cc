@@ -1,0 +1,25 @@
+// Fixture: every line marked MUST-FLAG below must produce a finding.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long wall_now() {
+  auto t = std::chrono::system_clock::now();  // MUST-FLAG wall-clock
+  auto s = std::chrono::steady_clock::now();  // MUST-FLAG wall-clock
+  (void)s;
+  return std::chrono::duration_cast<std::chrono::seconds>(t.time_since_epoch()).count();
+}
+
+long libc_now() {
+  return time(nullptr);  // MUST-FLAG wall-clock
+}
+
+unsigned ambient() {
+  std::random_device rd;  // MUST-FLAG ambient-randomness
+  srand(42);              // MUST-FLAG ambient-randomness
+  return rd() + static_cast<unsigned>(rand());  // MUST-FLAG ambient-randomness
+}
+
+}  // namespace fixture

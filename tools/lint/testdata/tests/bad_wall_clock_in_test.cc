@@ -1,0 +1,11 @@
+// Fixture: the determinism rules apply to tests/ too — a test that reads
+// the host clock or ambient entropy is flaky by construction.
+#include <ctime>
+
+namespace fixture {
+
+bool flaky_timeout(long start) {
+  return time(nullptr) - start > 5;  // MUST-FLAG wall-clock
+}
+
+}  // namespace fixture
