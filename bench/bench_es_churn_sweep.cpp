@@ -71,6 +71,20 @@ Experiment make_experiment() {
   e.grid = "c in {0, 0.5, 1, 2, 4, 8, 16, 32} x 1/(3*delta*n); n=21, delta=5";
   e.default_seeds = kDefaultSeeds;
   e.run = run;
+  e.scenario = [] {
+    // Search target: exactly at the ES constraint 1/(3*delta*n).
+    ExperimentConfig cfg;
+    cfg.protocol = harness::Protocol::kEventuallySync;
+    cfg.timing = harness::Timing::kEventuallySynchronous;
+    cfg.gst = 0;
+    cfg.n = 21;
+    cfg.delta = 5;
+    cfg.duration = 5000;
+    cfg.workload.read_interval = 10;
+    cfg.workload.write_interval = 60;
+    cfg.churn_rate = cfg.es_churn_threshold();
+    return cfg;
+  };
   return e;
 }
 

@@ -47,7 +47,10 @@ Outcome run_scenario(bool wait_before_inquiry, sim::Duration joiner_offset) {
         if (type == msg::SyncReply::kTypeId && from == 0) return kDelta;
         return 1;
       });
-  auto cluster = ScriptedCluster::sync(3, 3, 0.0, cfg, std::move(delays));
+  auto cluster = ScriptedCluster::sync(
+      3, 3, 0.0, cfg, std::move(delays), churn::LeavePolicy::kUniform,
+      replay::scenario_key("E1/fig3_join_wait",
+                           {wait_before_inquiry ? 1u : 0u, joiner_offset}));
 
   Outcome out;
   cluster->sim.run_until(5);

@@ -34,7 +34,10 @@ RunResult run_scenario(sim::Time horizon, std::optional<sim::Time> gst) {
         if (now < *gst) return *gst - now + 3;  // late but timely after GST
         return 3;
       });
-  auto cluster = ScriptedCluster::es(19, 5, 0.0, std::move(delays));
+  auto cluster = ScriptedCluster::es(
+      19, 5, 0.0, std::move(delays), churn::LeavePolicy::kUniform,
+      replay::scenario_key("E5/impossibility_async",
+                           {horizon, gst ? *gst + 1 : 0u}));
 
   RunResult result;
   cluster->node(0)->write(OpContext{}, 1, [&result](OpOutcome o) {

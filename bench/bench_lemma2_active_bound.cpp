@@ -39,7 +39,8 @@ ExperimentResult run(const RunOptions& opts) {
     cfg.delta = kDelta;
     auto cluster = ScriptedCluster::sync(
         17, kN, c, cfg, std::make_unique<net::SynchronousDelay>(kDelta),
-        churn::LeavePolicy::kOldestActiveFirst);
+        churn::LeavePolicy::kOldestActiveFirst,
+        replay::scenario_key("E2/lemma2_active_bound", {i}));
     cluster->sim.run_until(kHorizon);
 
     const auto& chron = cluster->system->chronicle();

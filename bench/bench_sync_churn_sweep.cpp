@@ -109,6 +109,13 @@ Experiment make_experiment() {
   e.grid = "c/threshold in {0..3} x 2 workloads (standard, survival)";
   e.default_seeds = kDefaultSeeds;
   e.run = run;
+  e.scenario = [] {
+    // Search target: just below the Theorem 1 threshold, where the base
+    // schedule is safe but adversarial reordering has the most room.
+    ExperimentConfig cfg = base_config();
+    cfg.churn_rate = 0.8 * cfg.sync_churn_threshold();
+    return cfg;
+  };
   return e;
 }
 

@@ -5,12 +5,16 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "churn/system.h"
 #include "dynreg/es_register.h"
 #include "dynreg/sync_register.h"
 #include "net/delay_model.h"
 #include "net/network.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "replay/session.h"
 #include "sim/simulation.h"
 #include "stats/table.h"
 
@@ -28,55 +32,119 @@ bool pump_until(sim::Simulation& sim, Pred pred, sim::Time deadline) {
 }
 
 /// A scripted protocol deployment (no workload driver; the bench drives).
+///
+/// Record/replay: pass a nonzero `replay_key` (replay::scenario_key of the
+/// scenario's name and distinguishing parameters) and the cluster enrolls
+/// in the global replay session exactly like a run_experiment run — its
+/// net/churn decisions are captured in record mode and re-fed in replay
+/// mode, keyed by (replay_key, seed). Bench-driven spawn()/leave() calls
+/// and operations re-occur naturally when the bench code runs again, so
+/// only the substrate's decisions are in the trace. With replay_key 0 (the
+/// default) the cluster ignores the session.
 class ScriptedCluster {
  public:
   ScriptedCluster(std::uint64_t seed, std::size_t n, double churn_rate,
                   churn::LeavePolicy policy, std::unique_ptr<net::DelayModel> delays,
-                  churn::System::NodeFactory factory)
-      : sim(seed), net(sim, std::move(delays)) {
+                  churn::System::NodeFactory factory, std::uint64_t replay_key = 0)
+      : replay_key_(replay_key),
+        sim(seed),
+        net(sim, prepare_delays(std::move(delays), seed, churn_rate)) {
     churn::SystemConfig cfg;
     cfg.initial_size = n;
     cfg.leave_policy = policy;
     std::unique_ptr<churn::ChurnModel> model;
-    if (churn_rate > 0.0) {
+    if (replayer_) {
+      model = replayer_->make_churn_model();
+    } else if (churn_rate > 0.0) {
       model = std::make_unique<churn::ConstantChurn>(churn_rate);
     } else {
       model = std::make_unique<churn::NoChurn>();
     }
     system = std::make_unique<churn::System>(sim, net, cfg, std::move(model),
                                              std::move(factory));
+    if (recorder_) system->set_churn_observer(recorder_.get());
     system->bootstrap();
   }
+
+  ~ScriptedCluster() {
+    replay::Session& session = replay::Session::instance();
+    if (rec_trace_) {
+      rec_trace_->recorded_hash = sim.trace_hash();
+      session.commit(std::move(*rec_trace_));
+    } else if (replay_trace_) {
+      const std::uint64_t h = sim.trace_hash();
+      session.note_replay(replay_trace_->recorded_hash == 0 || h == 0 ||
+                          h == replay_trace_->recorded_hash);
+    }
+  }
+
+  ScriptedCluster(const ScriptedCluster&) = delete;
+  ScriptedCluster& operator=(const ScriptedCluster&) = delete;
 
   static std::unique_ptr<ScriptedCluster> sync(std::uint64_t seed, std::size_t n,
                                                double churn_rate, const SyncConfig& cfg,
                                                std::unique_ptr<net::DelayModel> delays,
                                                churn::LeavePolicy policy =
-                                                   churn::LeavePolicy::kUniform) {
+                                                   churn::LeavePolicy::kUniform,
+                                               std::uint64_t replay_key = 0) {
     return std::make_unique<ScriptedCluster>(
         seed, n, churn_rate, policy, std::move(delays),
         [cfg](sim::ProcessId id, node::Context& ctx, bool initial) {
           return std::make_unique<SyncRegisterNode>(id, ctx, cfg, initial);
-        });
+        },
+        replay_key);
   }
 
   static std::unique_ptr<ScriptedCluster> es(std::uint64_t seed, std::size_t n,
                                              double churn_rate,
                                              std::unique_ptr<net::DelayModel> delays,
                                              churn::LeavePolicy policy =
-                                                 churn::LeavePolicy::kUniform) {
+                                                 churn::LeavePolicy::kUniform,
+                                             std::uint64_t replay_key = 0) {
     EsConfig cfg;
     cfg.n = n;
     return std::make_unique<ScriptedCluster>(
         seed, n, churn_rate, policy, std::move(delays),
         [cfg](sim::ProcessId id, node::Context& ctx, bool initial) {
           return std::make_unique<EsRegisterNode>(id, ctx, cfg, initial);
-        });
+        },
+        replay_key);
   }
 
   RegisterNode* node(sim::ProcessId id) {
     return dynamic_cast<RegisterNode*>(system->find(id));
   }
+
+ private:
+  // Replay plumbing. Declared before `sim`/`net` so prepare_delays (called
+  // in net's initializer) can populate it; the replayer must also outlive
+  // the Network that owns the delay model it built.
+  std::uint64_t replay_key_ = 0;
+  std::unique_ptr<replay::Trace> rec_trace_;
+  std::unique_ptr<replay::TraceRecorder> recorder_;
+  std::shared_ptr<const replay::Trace> replay_trace_;
+  std::unique_ptr<replay::TraceReplayer> replayer_;
+
+  std::unique_ptr<net::DelayModel> prepare_delays(std::unique_ptr<net::DelayModel> delays,
+                                                  std::uint64_t seed, double churn_rate) {
+    replay::Session& session = replay::Session::instance();
+    const replay::Session::Mode mode = session.mode();
+    if (replay_key_ == 0 || mode == replay::Session::Mode::kOff) return delays;
+    if (mode == replay::Session::Mode::kRecord) {
+      rec_trace_ = std::make_unique<replay::Trace>();
+      rec_trace_->fingerprint = replay_key_;
+      rec_trace_->seed = seed;
+      rec_trace_->churn_loop = churn_rate > 0.0;
+      recorder_ = std::make_unique<replay::TraceRecorder>(*rec_trace_);
+      return std::make_unique<replay::RecordingDelayModel>(std::move(delays),
+                                                           *rec_trace_);
+    }
+    replay_trace_ = session.find(replay_key_, seed);
+    replayer_ = std::make_unique<replay::TraceReplayer>(replay_trace_);
+    return replayer_->make_delay_model();
+  }
+
+ public:
 
   std::optional<Value> read_blocking(sim::ProcessId id, sim::Duration max_wait = 10000) {
     std::optional<Value> result;

@@ -14,9 +14,27 @@
 //       (default), closed, or bursty; --clients and --think configure the
 //       closed-loop engine; --burst=ON/OFF sets the bursty on/off phase
 //       lengths in ticks. Scripted constructions (E1, E2, E5) ignore them.
+//   dynreg_exp record <name> --out=FILE [--seeds=N] [--jobs=N]
+//       Runs one experiment with every schedule decision captured, writes
+//       the trace set to FILE, and prints the run's JSON to stdout.
+//   dynreg_exp replay FILE [--jobs=N]
+//       Re-runs the experiment recorded in FILE driven from its traces and
+//       prints the JSON to stdout — byte-identical to the record's, at any
+//       --jobs. Exit 1 on any audit-hash mismatch. (see docs/REPLAY.md)
+//   dynreg_exp search <name|FILE> [--budget=N] [--seed=N] [--jobs=N]
+//              [--slack=N] [--out=FILE]
+//       Adversarial schedule search: records the experiment's scenario run
+//       (or loads a scenario FILE), then replays --budget perturbed
+//       variants hunting for regularity violations; --out saves the first
+//       violating schedule as a scenario trace file.
+//   dynreg_exp minimize FILE [--out=FILE] [--max-tests=N]
+//       Delta-debugs a violating scenario trace down to its essential
+//       decisions and prints the counterexample narrative; --out saves the
+//       minimized trace.
 //
 // Aggregated results are byte-identical across --jobs values: parallelism
 // only changes wall-clock time, never output (see docs/ARCHITECTURE.md).
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -27,6 +45,10 @@
 
 #include "emit.h"
 #include "registry.h"
+#include "replay/minimize.h"
+#include "replay/search.h"
+#include "replay/session.h"
+#include "replay/trace_io.h"
 #include "stats/table.h"
 
 namespace {
@@ -43,7 +65,12 @@ int usage(std::ostream& os, int code) {
         "       dynreg_exp run (<name>... | --all) [--seeds=N] [--jobs=N]\n"
         "                  [--format=table|json|csv] [--out=DIR]\n"
         "                  [--workload=open|closed|bursty] [--clients=N]\n"
-        "                  [--think=N] [--burst=ON/OFF]\n";
+        "                  [--think=N] [--burst=ON/OFF]\n"
+        "       dynreg_exp record <name> --out=FILE [--seeds=N] [--jobs=N]\n"
+        "       dynreg_exp replay FILE [--jobs=N]\n"
+        "       dynreg_exp search <name|FILE> [--budget=N] [--seed=N] [--jobs=N]\n"
+        "                  [--slack=N] [--out=FILE]\n"
+        "       dynreg_exp minimize FILE [--out=FILE] [--max-tests=N]\n";
   return code;
 }
 
@@ -232,13 +259,304 @@ int cmd_run(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Looks an experiment up by CLI name or paper id ("E4").
+const Experiment* resolve_experiment(const std::string& key) {
+  if (const Experiment* e = ExperimentRegistry::instance().find(key)) return e;
+  for (const Experiment* e : ExperimentRegistry::instance().list()) {
+    if (e->id == key) return e;
+  }
+  return nullptr;
+}
+
+std::size_t total_decisions(const std::vector<replay::Trace>& traces) {
+  std::size_t total = 0;
+  for (const replay::Trace& t : traces) total += t.size();
+  return total;
+}
+
+int cmd_record(const std::vector<std::string>& args) {
+  RunOptions opts;
+  opts.jobs = 0;
+  std::optional<std::string> out;
+  std::vector<std::string> names;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "--seeds")) {
+      const auto n = parse_count(*v);
+      if (!n) return std::cerr << "bad --seeds value: " << *v << "\n", 2;
+      opts.seeds = *n;
+    } else if (auto vj = flag_value(arg, "--jobs")) {
+      const auto n = parse_count(*vj);
+      if (!n) return std::cerr << "bad --jobs value: " << *vj << "\n", 2;
+      opts.jobs = *n;
+    } else if (auto vo = flag_value(arg, "--out")) {
+      out = *vo;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.size() != 1 || !out) return usage(std::cerr, 2);
+  const Experiment* e = resolve_experiment(names[0]);
+  if (e == nullptr) {
+    std::cerr << "unknown experiment: " << names[0] << " (see `dynreg_exp list`)\n";
+    return 1;
+  }
+
+  replay::Session& session = replay::Session::instance();
+  session.begin_record();
+  const std::size_t seeds = bench::effective_seeds(*e, opts);
+  const bench::ExperimentResult result = bench::run_resolved(*e, opts);
+  replay::TraceFile file;
+  file.experiment = e->name;
+  file.seeds = {seeds};
+  file.traces = session.collected();
+  session.end();
+
+  try {
+    replay::write_file(*out, file);
+  } catch (const replay::TraceError& err) {
+    std::cerr << "record: " << err.what() << "\n";
+    return 1;
+  }
+  std::cerr << "recorded " << file.traces.size() << " trace(s), "
+            << total_decisions(file.traces) << " decision(s) -> " << *out << "\n";
+  std::cout << bench::to_json(*e, seeds, result);
+  return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  RunOptions opts;
+  opts.jobs = 0;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (auto vj = flag_value(arg, "--jobs")) {
+      const auto n = parse_count(*vj);
+      if (!n) return std::cerr << "bad --jobs value: " << *vj << "\n", 2;
+      opts.jobs = *n;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 1) return usage(std::cerr, 2);
+
+  replay::TraceFile file;
+  try {
+    file = replay::read_file(paths[0]);
+  } catch (const replay::TraceError& err) {
+    std::cerr << "replay: " << err.what() << "\n";
+    return 1;
+  }
+  const Experiment* e = resolve_experiment(file.experiment);
+  if (e == nullptr) {
+    std::cerr << "replay: trace file records unknown experiment '" << file.experiment
+              << "'\n";
+    return 1;
+  }
+  if (file.seeds.size() != 1) {
+    std::cerr << "replay: trace file is a scenario artifact, not an experiment "
+                 "recording (use `dynreg_exp search`/`minimize` on it)\n";
+    return 1;
+  }
+  opts.seeds = static_cast<std::size_t>(file.seeds[0]);
+
+  replay::Session& session = replay::Session::instance();
+  session.begin_replay(std::move(file.traces));
+  bench::ExperimentResult result;
+  try {
+    result = bench::run_resolved(*e, opts);
+  } catch (const replay::TraceError& err) {
+    session.end();
+    std::cerr << "replay: " << err.what() << "\n";
+    return 1;
+  }
+  const std::size_t replays = session.replays();
+  const std::size_t mismatches = session.hash_mismatches();
+  session.end();
+
+  std::cerr << "replayed " << replays << " run(s), " << mismatches
+            << " audit-hash mismatch(es)\n";
+  std::cout << bench::to_json(*e, opts.seeds, result);
+  return mismatches == 0 ? 0 : 1;
+}
+
+int cmd_search(const std::vector<std::string>& args) {
+  replay::SearchOptions sopt;
+  sopt.jobs = 0;
+  std::optional<std::string> out;
+  std::vector<std::string> targets;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "--budget")) {
+      const auto n = parse_count(*v);
+      if (!n || *n == 0) return std::cerr << "bad --budget value: " << *v << "\n", 2;
+      sopt.budget = *n;
+    } else if (auto vs = flag_value(arg, "--seed")) {
+      const auto n = parse_count(*vs);
+      if (!n) return std::cerr << "bad --seed value: " << *vs << "\n", 2;
+      sopt.seed = static_cast<std::uint64_t>(*n);
+    } else if (auto vj = flag_value(arg, "--jobs")) {
+      const auto n = parse_count(*vj);
+      if (!n) return std::cerr << "bad --jobs value: " << *vj << "\n", 2;
+      sopt.jobs = *n;
+    } else if (auto vk = flag_value(arg, "--slack")) {
+      const auto n = parse_count(*vk);
+      if (!n) return std::cerr << "bad --slack value: " << *vk << "\n", 2;
+      sopt.delay_slack = static_cast<sim::Duration>(*n);
+    } else if (auto vo = flag_value(arg, "--out")) {
+      out = *vo;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.size() != 1) return usage(std::cerr, 2);
+
+  // The target is an experiment (search its scenario config) or a scenario
+  // trace file written by an earlier `search --out`.
+  harness::ExperimentConfig cfg;
+  std::optional<replay::Trace> base;
+  if (const Experiment* e = resolve_experiment(targets[0])) {
+    if (!e->scenario) {
+      std::cerr << "search: experiment " << e->name
+                << " has no scenario config to perturb\n";
+      return 1;
+    }
+    cfg = e->scenario();
+  } else {
+    replay::TraceFile file;
+    try {
+      file = replay::read_file(targets[0]);
+    } catch (const replay::TraceError& err) {
+      std::cerr << "search: '" << targets[0]
+                << "' is neither a known experiment nor a readable trace file ("
+                << err.what() << ")\n";
+      return 1;
+    }
+    if (!file.config || file.traces.empty()) {
+      std::cerr << "search: " << targets[0]
+                << " has no embedded scenario config (record one with "
+                   "`dynreg_exp search <experiment> --out=FILE`)\n";
+      return 1;
+    }
+    cfg = *file.config;
+    base = std::move(file.traces[0]);
+  }
+  if (!base) base = replay::record_base(cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();  // dynreg-lint: allow(wall-clock): throughput report only; search results are jobs- and time-independent
+  const replay::SearchResult res = replay::search(cfg, *base, sopt);
+  const auto t1 = std::chrono::steady_clock::now();  // dynreg-lint: allow(wall-clock): throughput report only
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  std::cout << "searched " << res.executed << " perturbed schedule(s): "
+            << res.violating << " violating, " << res.inverted
+            << " with new/old inversions, " << res.distinct_schedules
+            << " distinct schedule(s)\n";
+  if (secs > 0.0) {
+    std::cout << "throughput: "
+              << static_cast<std::size_t>(static_cast<double>(res.executed) / secs)
+              << " schedules/s\n";
+  }
+  if (res.first_violation) {
+    std::cout << "first violating variant: #" << *res.first_violation << " ("
+              << res.counterexample.size() << " recorded decisions, "
+              << res.counterexample_report.regularity.violations.size()
+              << " stale read(s))\n";
+    if (out) {
+      replay::TraceFile file;
+      file.config = cfg;
+      file.traces = {res.counterexample};
+      try {
+        replay::write_file(*out, file);
+      } catch (const replay::TraceError& err) {
+        std::cerr << "search: " << err.what() << "\n";
+        return 1;
+      }
+      std::cerr << "wrote counterexample -> " << *out << "\n";
+    }
+  } else {
+    std::cout << "no violating schedule found within the budget\n";
+    if (out) std::cerr << "nothing to write to " << *out << "\n";
+  }
+  return 0;
+}
+
+int cmd_minimize(const std::vector<std::string>& args) {
+  replay::MinimizeOptions mopt;
+  std::optional<std::string> out;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (auto v = flag_value(arg, "--max-tests")) {
+      const auto n = parse_count(*v);
+      if (!n || *n == 0) return std::cerr << "bad --max-tests value: " << *v << "\n", 2;
+      mopt.max_tests = *n;
+    } else if (auto vo = flag_value(arg, "--out")) {
+      out = *vo;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 1) return usage(std::cerr, 2);
+
+  replay::TraceFile file;
+  try {
+    file = replay::read_file(paths[0]);
+  } catch (const replay::TraceError& err) {
+    std::cerr << "minimize: " << err.what() << "\n";
+    return 1;
+  }
+  if (!file.config || file.traces.empty()) {
+    std::cerr << "minimize: " << paths[0]
+              << " has no embedded scenario config; minimize expects a "
+                 "counterexample written by `dynreg_exp search --out`\n";
+    return 1;
+  }
+
+  const replay::MinimizeResult res =
+      replay::minimize(*file.config, file.traces[0], mopt);
+  std::cout << res.narrative;
+  std::cerr << "minimized " << res.atoms << " atom(s) to " << res.essential
+            << " essential decision(s) in " << res.tests << " replay(s)\n";
+  if (!res.violating) {
+    std::cerr << "minimize: input trace does not violate regularity on replay\n";
+    return 1;
+  }
+  if (out) {
+    replay::TraceFile min_file;
+    min_file.config = *file.config;
+    min_file.traces = {res.trace};
+    try {
+      replay::write_file(*out, min_file);
+    } catch (const replay::TraceError& err) {
+      std::cerr << "minimize: " << err.what() << "\n";
+      return 1;
+    }
+    std::cerr << "wrote minimized trace -> " << *out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage(std::cerr, 2);
+  const std::vector<std::string> rest{args.begin() + 1, args.end()};
   if (args[0] == "list") return cmd_list();
-  if (args[0] == "run") return cmd_run({args.begin() + 1, args.end()});
+  if (args[0] == "run") return cmd_run(rest);
+  if (args[0] == "record") return cmd_record(rest);
+  if (args[0] == "replay") return cmd_replay(rest);
+  if (args[0] == "search") return cmd_search(rest);
+  if (args[0] == "minimize") return cmd_minimize(rest);
   if (args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
     return usage(std::cout, 0);
   }

@@ -79,6 +79,11 @@ struct Experiment {
   /// 1 replica instead of echoing a seed count that had no effect.
   bool uses_seeds = true;
   std::function<ExperimentResult(const RunOptions&)> run;
+  /// Optional: one representative harness config for this experiment, used
+  /// by the trace tooling (`dynreg_exp record|replay|search|minimize`) as
+  /// the schedule-perturbation target. Unset for experiments with no single
+  /// representative run (scripted constructions, micro-benchmarks).
+  std::function<harness::ExperimentConfig()> scenario;
 };
 
 /// Process-wide experiment table. Experiments self-register at static

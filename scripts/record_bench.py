@@ -85,16 +85,28 @@ def main():
                     help="also record the new numbers as the baseline")
     args = ap.parse_args()
 
-    current, context = run_google_benchmark(args.bench, args.min_time, args.repetitions)
-
+    # Validate the existing trajectory file BEFORE the (slow) benchmark run:
+    # refuse to merge into (and silently clobber) a file this script does not
+    # own — a wrong --out would otherwise destroy it and fabricate a bogus
+    # baseline from its carcass.
     doc = {"schema": "dynreg-bench-v1"}
     if os.path.exists(args.out):
         with open(args.out) as f:
             try:
                 doc = json.load(f)
             except json.JSONDecodeError:
-                print(f"warning: {args.out} was not valid JSON; starting fresh",
-                      file=sys.stderr)
+                sys.exit(f"error: {args.out} exists but is not valid JSON — "
+                         f"refusing to overwrite it. Delete the file first if "
+                         f"it is expendable.")
+        if doc.get("schema") != "dynreg-bench-v1":
+            sys.exit(
+                f"error: {args.out} exists but its schema is "
+                f"{doc.get('schema')!r}, not 'dynreg-bench-v1' — refusing to "
+                f"overwrite a file this script did not write. Point --out at "
+                f"the bench trajectory file or delete the existing file first."
+            )
+
+    current, context = run_google_benchmark(args.bench, args.min_time, args.repetitions)
 
     doc["schema"] = "dynreg-bench-v1"
     doc["current"] = {

@@ -1,17 +1,47 @@
 // Churn models. The paper's model: at each time unit a fraction c of the n
 // processes joins and the same fraction leaves, so the system size is
 // constant while its composition changes continuously.
+//
+// A model is either *rate-based* (the system's credit arithmetic decides
+// when a join/leave pair fires; the victim is picked by policy + rng) or
+// *scripted* (the model dictates the exact ordered actions per tick — how
+// trace replay and schedule perturbation drive churn, see src/replay/).
 #pragma once
 
+#include <vector>
+
+#include "sim/event_queue.h"
+
 namespace dynreg::churn {
+
+/// One membership action a scripted model dictates. Joins carry no id: the
+/// system assigns process ids deterministically (next_id_), so replaying
+/// the same join sequence reproduces the same ids.
+struct ChurnAction {
+  bool join = false;
+  sim::ProcessId victim = 0;  ///< leaves only
+};
 
 class ChurnModel {
  public:
   virtual ~ChurnModel() = default;
 
   /// Fraction of the (constant) system size that joins — and leaves — per
-  /// time unit.
+  /// time unit. Rate-based models only; ignored when scripted() is true.
   virtual double rate() const = 0;
+
+  /// Scripted models bypass the rate/credit arithmetic: the system runs its
+  /// churn tick loop and executes actions_at() verbatim each tick.
+  [[nodiscard]] virtual bool scripted() const { return false; }
+
+  /// Appends this tick's ordered actions (scripted models only). Called
+  /// once per churn tick with a monotonically increasing `now`; a model
+  /// must emit each action exactly once (actions stamped earlier than a
+  /// missed tick are caught up on the next call).
+  virtual void actions_at(sim::Time now, std::vector<ChurnAction>& out) {
+    (void)now;
+    (void)out;
+  }
 };
 
 class NoChurn final : public ChurnModel {

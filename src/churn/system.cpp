@@ -15,7 +15,7 @@ System::System(sim::Simulation& sim, net::Network& net, SystemConfig config,
 
 void System::bootstrap() {
   for (std::size_t i = 0; i < config_.initial_size; ++i) add_member(/*initial=*/true);
-  if (churn_ && churn_->rate() > 0.0) {
+  if (churn_ && (churn_->rate() > 0.0 || churn_->scripted())) {
     sim_.schedule_after(config_.churn_tick, [this] { churn_step(); });
   }
 }
@@ -91,17 +91,46 @@ std::vector<sim::ProcessId> System::active_ids() const {
 }
 
 void System::churn_step() {
-  // The paper's model: c * n processes join and c * n leave per time unit,
-  // with n constant. Fractional amounts accumulate across ticks.
-  churn_credit_ += churn_->rate() * static_cast<double>(config_.initial_size) *
-                   static_cast<double>(config_.churn_tick);
-  while (churn_credit_ >= 1.0) {
-    churn_credit_ -= 1.0;
-    spawn();
-    const sim::ProcessId victim = pick_victim();
-    if (members_.count(victim) != 0) leave(victim);
+  if (churn_->scripted()) {
+    scripted_churn_step();
+  } else {
+    // The paper's model: c * n processes join and c * n leave per time unit,
+    // with n constant. Fractional amounts accumulate across ticks.
+    churn_credit_ += churn_->rate() * static_cast<double>(config_.initial_size) *
+                     static_cast<double>(config_.churn_tick);
+    while (churn_credit_ >= 1.0) {
+      churn_credit_ -= 1.0;
+      if (observer_ != nullptr) observer_->on_churn_join(sim_.now());
+      spawn();
+      const sim::ProcessId victim = pick_victim();
+      if (members_.count(victim) != 0) {
+        if (observer_ != nullptr) observer_->on_churn_leave(sim_.now(), victim);
+        leave(victim);
+      }
+    }
   }
   sim_.schedule_after(config_.churn_tick, [this] { churn_step(); });
+}
+
+void System::scripted_churn_step() {
+  // Scripted churn (trace replay / schedule perturbation): execute the
+  // model's actions verbatim, in order, preserving the spawn/leave
+  // interleaving of the recorded run — the interleave decides which
+  // broadcasts the victim still receives, so it is part of the schedule.
+  scripted_actions_.clear();
+  churn_->actions_at(sim_.now(), scripted_actions_);
+  for (const ChurnAction& action : scripted_actions_) {
+    if (action.join) {
+      if (observer_ != nullptr) observer_->on_churn_join(sim_.now());
+      spawn();
+    } else if (members_.count(action.victim) != 0) {
+      // A perturbed trace may name a victim that already left (or was
+      // never spawned on the diverged path); the leave simply has no
+      // effect, mirroring the rate-based path's members_ check.
+      if (observer_ != nullptr) observer_->on_churn_leave(sim_.now(), action.victim);
+      leave(action.victim);
+    }
+  }
 }
 
 sim::ProcessId System::pick_victim() {

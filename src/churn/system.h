@@ -33,6 +33,18 @@ struct SystemConfig {
   sim::Duration churn_tick = 1;
 };
 
+/// Observes churn-driven membership actions as the system executes them —
+/// the trace recorder's view of churn (src/replay/recorder.h). Bench- or
+/// client-driven spawn()/leave() calls are NOT reported: they re-occur
+/// naturally when the driving code runs again, so recording them would
+/// double them on replay.
+class ChurnObserver {
+ public:
+  virtual ~ChurnObserver() = default;
+  virtual void on_churn_join(sim::Time t) = 0;
+  virtual void on_churn_leave(sim::Time t, sim::ProcessId victim) = 0;
+};
+
 class System {
  public:
   /// Builds the protocol node for a process. `initial` distinguishes the
@@ -60,6 +72,10 @@ class System {
   /// The member's node, or nullptr if it is not (any longer) in the system.
   node::Node* find(sim::ProcessId id);
 
+  /// Installs a non-owning observer of churn-driven joins/leaves (nullptr
+  /// to clear). Configuration-time only; must outlive the run.
+  void set_churn_observer(ChurnObserver* observer) { observer_ = observer; }
+
   [[nodiscard]] const Chronicle& chronicle() const { return chronicle_; }
 
   /// Ids of members whose join has completed, ascending.
@@ -85,6 +101,7 @@ class System {
 
   sim::ProcessId add_member(bool initial);
   void churn_step();
+  void scripted_churn_step();
   sim::ProcessId pick_victim();
 
   sim::Simulation& sim_;
@@ -96,8 +113,10 @@ class System {
   std::map<sim::ProcessId, Member> members_;  // ordered: deterministic iteration
   std::map<sim::ProcessId, sim::Time> active_;  // id -> activation time
   Chronicle chronicle_;
+  ChurnObserver* observer_ = nullptr;  // non-owning
   sim::ProcessId next_id_ = 0;
   double churn_credit_ = 0.0;
+  std::vector<ChurnAction> scripted_actions_;  // reused scratch buffer
 
   std::uint64_t joins_started_ = 0;
   std::uint64_t joins_completed_ = 0;

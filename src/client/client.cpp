@@ -49,8 +49,13 @@ OpHandle Client::session_read(sim::ProcessId target, OpOptions options, OpHook d
 std::optional<sim::ProcessId> Client::random_active() {
   const auto actives = system_.active_ids();
   if (actives.empty()) return std::nullopt;
-  return actives[static_cast<std::size_t>(
-      sim_.rng().uniform_int(0, actives.size() - 1))];
+  const sim::ProcessId chosen =
+      chooser_ != nullptr
+          ? chooser_->choose_target(sim_.now(), actives)
+          : actives[static_cast<std::size_t>(
+                sim_.rng().uniform_int(0, actives.size() - 1))];
+  if (target_observer_ != nullptr) target_observer_->on_target(sim_.now(), chosen);
+  return chosen;
 }
 
 void Client::enqueue_session(OpRecord& rec) {

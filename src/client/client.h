@@ -135,6 +135,24 @@ struct OpStats {
   std::vector<double> write_latencies;
 };
 
+/// Replaces the rng draw in Client::random_active — the trace replayer's
+/// view of target selection (src/replay/replayer.h). Consulted only when at
+/// least one process is active; must return one of `actives`.
+class TargetChooser {
+ public:
+  virtual ~TargetChooser() = default;
+  virtual sim::ProcessId choose_target(sim::Time now,
+                                       const std::vector<sim::ProcessId>& actives) = 0;
+};
+
+/// Observes every target selection random_active makes — the trace
+/// recorder's view (src/replay/recorder.h).
+class TargetObserver {
+ public:
+  virtual ~TargetObserver() = default;
+  virtual void on_target(sim::Time now, sim::ProcessId chosen) = 0;
+};
+
 class Client {
  public:
   /// `horizon` bounds retries (no attempt is re-issued at or after it);
@@ -175,6 +193,12 @@ class Client {
   /// The workload's write-value sequence (1, 2, 3, ...).
   Value next_value() { return next_value_++; }
 
+  /// Installs a non-owning chooser/observer for random_active (nullptr to
+  /// clear). Configuration-time only; must outlive the run. With a chooser
+  /// installed random_active draws nothing from the rng.
+  void set_target_chooser(TargetChooser* chooser) { chooser_ = chooser; }
+  void set_target_observer(TargetObserver* observer) { target_observer_ = observer; }
+
   OpStats& stats() { return stats_; }
   [[nodiscard]] const std::deque<OpRecord>& records() const { return records_; }
   [[nodiscard]] OpHandle handle(OpId id) const { return OpHandle(&records_[id]); }
@@ -205,6 +229,8 @@ class Client {
   std::deque<OpRecord> records_;  // deque: stable addresses for OpHandles
   std::map<sim::ProcessId, Station> stations_;
   Value next_value_ = 1;
+  TargetChooser* chooser_ = nullptr;          // non-owning
+  TargetObserver* target_observer_ = nullptr;  // non-owning
   OpStats stats_;
 };
 

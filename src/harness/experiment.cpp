@@ -15,6 +15,11 @@
 #include "harness/workload.h"
 #include "net/delay_model.h"
 #include "net/network.h"
+#include "replay/hooks.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "replay/session.h"
+#include "replay/trace_io.h"
 
 namespace dynreg::harness {
 
@@ -84,8 +89,60 @@ std::vector<sim::ProcessId> designated_writers(const ExperimentConfig& cfg) {
 }  // namespace
 
 MetricsReport run_experiment(const ExperimentConfig& cfg) {
+  replay::Session& session = replay::Session::instance();
+  switch (session.mode()) {
+    case replay::Session::Mode::kOff:
+      return run_experiment(cfg, replay::RunHooks{});
+    case replay::Session::Mode::kRecord: {
+      replay::Trace trace;
+      trace.fingerprint = replay::fingerprint(cfg);
+      trace.seed = cfg.seed;
+      replay::RunHooks hooks;
+      hooks.record = &trace;
+      MetricsReport report = run_experiment(cfg, hooks);
+      trace.recorded_hash = report.trace_hash;
+      session.commit(std::move(trace));
+      return report;
+    }
+    case replay::Session::Mode::kReplay: {
+      const std::shared_ptr<const replay::Trace> trace =
+          session.find(replay::fingerprint(cfg), cfg.seed);
+      replay::RunHooks hooks;
+      hooks.replay = trace.get();
+      MetricsReport report = run_experiment(cfg, hooks);
+      // No comparison when either side ran without the auditor (hash 0).
+      session.note_replay(trace->recorded_hash == 0 || report.trace_hash == 0 ||
+                          report.trace_hash == trace->recorded_hash);
+      return report;
+    }
+  }
+  return run_experiment(cfg, replay::RunHooks{});  // unreachable
+}
+
+MetricsReport run_experiment(const ExperimentConfig& cfg, const replay::RunHooks& hooks) {
   sim::Simulation sim(cfg.seed);
-  net::Network net(sim, build_delays(cfg));
+
+  // Replay components must outlive the run; the chooser in particular is
+  // only referenced (non-owning) by the Client.
+  std::unique_ptr<replay::TraceReplayer> replayer;
+  if (hooks.replay != nullptr) {
+    // Aliasing ctor: the session/caller guarantees *hooks.replay outlives
+    // this call, so the shared_ptr carries no ownership.
+    replayer = std::make_unique<replay::TraceReplayer>(
+        std::shared_ptr<const replay::Trace>(std::shared_ptr<const replay::Trace>(),
+                                             hooks.replay));
+  }
+
+  std::unique_ptr<net::DelayModel> delays =
+      replayer ? replayer->make_delay_model() : build_delays(cfg);
+  if (hooks.record != nullptr) {
+    hooks.record->churn_loop =
+        cfg.churn_kind == ChurnKind::kConstant && cfg.churn_rate > 0.0;
+    delays = std::make_unique<replay::RecordingDelayModel>(std::move(delays),
+                                                           *hooks.record);
+  }
+
+  net::Network net(sim, std::move(delays));
   net.set_loss_rate(cfg.loss_rate);
 
   consistency::History history(kInitialValue);
@@ -96,7 +153,9 @@ MetricsReport run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.exempt = designated_writers(cfg);
 
   std::unique_ptr<churn::ChurnModel> churn_model;
-  if (cfg.churn_kind == ChurnKind::kNone || cfg.churn_rate <= 0.0) {
+  if (replayer) {
+    churn_model = replayer->make_churn_model();
+  } else if (cfg.churn_kind == ChurnKind::kNone || cfg.churn_rate <= 0.0) {
     churn_model = std::make_unique<churn::NoChurn>();
   } else {
     churn_model = std::make_unique<churn::ConstantChurn>(cfg.churn_rate);
@@ -104,6 +163,15 @@ MetricsReport run_experiment(const ExperimentConfig& cfg) {
 
   churn::System system(sim, net, sys_cfg, std::move(churn_model), build_factory(cfg));
   client::Client client(sim, system, history, cfg.duration);
+
+  std::optional<replay::TraceRecorder> recorder;
+  if (hooks.record != nullptr) {
+    recorder.emplace(*hooks.record);
+    system.set_churn_observer(&*recorder);
+    client.set_target_observer(&*recorder);
+  }
+  if (replayer) client.set_target_chooser(replayer->target_chooser());
+
   std::unique_ptr<workload::Generator> generator = workload::make_generator(
       workload::Env{sim, system, client, cfg.workload, cfg.duration,
                     designated_writers(cfg)});

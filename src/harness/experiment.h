@@ -11,6 +11,10 @@
 #include "harness/workload_config.h"
 #include "sim/simulation.h"
 
+namespace dynreg::replay {
+struct RunHooks;
+}  // namespace dynreg::replay
+
 namespace dynreg::harness {
 
 /// Which register protocol a run deploys.
@@ -76,6 +80,16 @@ struct ExperimentConfig {
 /// then harvests metrics and runs the consistency checkers over the
 /// recorded history. Self-contained and thread-compatible: concurrent calls
 /// share no state, which is what the parallel sweep engine exploits.
+///
+/// When the global replay::Session is in record or replay mode this entry
+/// point transparently captures, respectively re-feeds, the run's schedule
+/// (see src/replay/session.h); otherwise it is a plain run.
 MetricsReport run_experiment(const ExperimentConfig& config);
+
+/// Same run, with explicit record/replay hooks (see replay/hooks.h) and no
+/// session involvement — the schedule searcher's and minimizer's entry
+/// point. Pass a default-constructed RunHooks for a plain run.
+MetricsReport run_experiment(const ExperimentConfig& config,
+                             const replay::RunHooks& hooks);
 
 }  // namespace dynreg::harness

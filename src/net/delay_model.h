@@ -20,6 +20,25 @@ class DelayModel {
   /// instantaneous (the simulation processes it as a strictly later event).
   virtual sim::Duration delay(sim::Time now, sim::ProcessId from, sim::ProcessId to,
                               const Payload& payload, sim::Rng& rng) = 0;
+
+  /// The full per-copy fate: lost to an omission fault, or delivered after
+  /// `delay` ticks.
+  struct Verdict {
+    bool lost = false;
+    sim::Duration delay = 1;  ///< meaningful only when !lost
+  };
+
+  /// One decision per transmit, combining the loss draw and the delay draw.
+  /// The network routes every copy through here so that a single override
+  /// point sees — and can record or replace — all of a run's network
+  /// nondeterminism (see src/replay/). The default implementation preserves
+  /// the historical rng draw order exactly: one bernoulli draw iff
+  /// loss_rate > 0, then the model's delay draw only for surviving copies.
+  virtual Verdict verdict(sim::Time now, sim::ProcessId from, sim::ProcessId to,
+                          const Payload& payload, double loss_rate, sim::Rng& rng) {
+    if (loss_rate > 0.0 && rng.bernoulli(loss_rate)) return {true, 0};
+    return {false, delay(now, from, to, payload, rng)};
+  }
 };
 
 /// Every message takes exactly `d` ticks.

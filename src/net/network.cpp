@@ -53,11 +53,13 @@ void Network::broadcast(sim::ProcessId from, PayloadPtr payload) {
 
 void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
   ++stats_.sent;
-  if (loss_rate_ > 0.0 && sim_.rng().bernoulli(loss_rate_)) {
+  const DelayModel::Verdict verdict =
+      delays_->verdict(sim_.now(), from, to, *payload, loss_rate_, sim_.rng());
+  if (verdict.lost) {
     ++stats_.dropped_loss;
     return;
   }
-  const sim::Duration d = delays_->delay(sim_.now(), from, to, *payload, sim_.rng());
+  const sim::Duration d = verdict.delay < 1 ? 1 : verdict.delay;
   auto deliver = [this, from, to, payload = std::move(payload)] {
     if (to >= slots_.size() || !slots_[to].attached) {
       ++stats_.dropped_departed;  // receiver departed while the copy was in flight

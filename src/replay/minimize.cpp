@@ -1,0 +1,245 @@
+#include "replay/minimize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "net/payload_type.h"
+#include "replay/hooks.h"
+#include "replay/search.h"
+
+namespace dynreg::replay {
+
+namespace {
+
+/// One neutralizable decision: a churn record (neutralize = delete) or a
+/// non-canonical net record (neutralize = deliver at the canonical delay).
+struct Atom {
+  bool is_churn = false;
+  std::size_t index = 0;  ///< into trace.churn / trace.net
+  sim::Time time = 0;
+};
+
+/// The trace's canonical ("boring") delay: the median recorded delivery
+/// delay, >= 1. Neutralized net records deliver at exactly this.
+sim::Duration canonical_delay(const Trace& t) {
+  std::vector<sim::Duration> delays;
+  delays.reserve(t.net.size());
+  for (const NetRecord& r : t.net) {
+    if (!r.lost) delays.push_back(r.delay);
+  }
+  if (delays.empty()) return 1;
+  std::nth_element(delays.begin(), delays.begin() + delays.size() / 2, delays.end());
+  const sim::Duration median = delays[delays.size() / 2];
+  return median < 1 ? 1 : median;
+}
+
+/// Rebuilds the trace with every atom outside `keep` neutralized. `keep`
+/// holds indices into `atoms`, in any order.
+Trace apply_keep(const Trace& base, const std::vector<Atom>& atoms,
+                 const std::vector<std::size_t>& keep, sim::Duration canon) {
+  std::vector<bool> kept(atoms.size(), false);
+  for (const std::size_t a : keep) kept[a] = true;
+
+  Trace out = base;
+  std::vector<bool> drop_churn(base.churn.size(), false);
+  bool any_drop = false;
+  for (std::size_t a = 0; a < atoms.size(); ++a) {
+    if (kept[a]) continue;
+    if (atoms[a].is_churn) {
+      drop_churn[atoms[a].index] = true;
+      any_drop = true;
+    } else {
+      NetRecord& r = out.net[atoms[a].index];
+      r.lost = false;
+      r.delay = canon;
+    }
+  }
+  if (any_drop) {
+    std::vector<ChurnRecord> remaining;
+    remaining.reserve(base.churn.size());
+    for (std::size_t i = 0; i < base.churn.size(); ++i) {
+      if (!drop_churn[i]) remaining.push_back(base.churn[i]);
+    }
+    out.churn = std::move(remaining);
+  }
+  return out;
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+const char* protocol_name(harness::Protocol p) {
+  switch (p) {
+    case harness::Protocol::kSync: return "sync";
+    case harness::Protocol::kSyncNoWait: return "sync_no_wait";
+    case harness::Protocol::kEventuallySync: return "es";
+    case harness::Protocol::kAbd: return "abd";
+  }
+  return "?";
+}
+
+std::string payload_name(net::PayloadTypeId id) {
+  if (id < net::PayloadTypeRegistry::count()) {
+    return std::string(net::PayloadTypeRegistry::name(id));
+  }
+  return "type#" + std::to_string(id);  // trace from a foreign build
+}
+
+std::string render_narrative(const harness::ExperimentConfig& cfg, const Trace& trace,
+                             const std::vector<Atom>& atoms,
+                             const std::vector<std::size_t>& keep,
+                             const harness::MetricsReport& report, sim::Duration canon,
+                             std::size_t total_decisions) {
+  std::string out;
+  out += "counterexample: " + std::to_string(keep.size()) + " essential decision(s) (of " +
+         std::to_string(atoms.size()) + " atoms; " + std::to_string(total_decisions) +
+         " recorded decisions)\n";
+  out += std::string("scenario: protocol=") + protocol_name(cfg.protocol) +
+         " n=" + std::to_string(cfg.n) + " delta=" + std::to_string(cfg.delta) +
+         " churn=" + fmt("%.4f", cfg.churn_rate) +
+         " duration=" + std::to_string(cfg.duration) +
+         " seed=" + std::to_string(trace.seed) +
+         " canonical_delay=" + std::to_string(canon) + "\n";
+  out += "violation: " + std::to_string(report.regularity.violations.size()) +
+         " stale read(s), " + std::to_string(report.atomicity.inversion_count) +
+         " new/old inversion(s)\n";
+  if (!report.regularity.violations.empty()) {
+    out += "  first: " + report.regularity.violations.front().detail + "\n";
+  }
+
+  std::vector<std::size_t> ordered = keep;
+  std::sort(ordered.begin(), ordered.end(), [&](std::size_t a, std::size_t b) {
+    if (atoms[a].time != atoms[b].time) return atoms[a].time < atoms[b].time;
+    if (atoms[a].is_churn != atoms[b].is_churn) return !atoms[a].is_churn;
+    return atoms[a].index < atoms[b].index;
+  });
+  std::size_t line = 0;
+  for (const std::size_t a : ordered) {
+    const Atom& atom = atoms[a];
+    out += "  " + std::to_string(++line) + ". t=" + std::to_string(atom.time) + " ";
+    if (atom.is_churn) {
+      const ChurnRecord& r = trace.churn[atom.index];
+      out += r.join ? "churn: join" : ("churn: leave p" + std::to_string(r.victim));
+    } else {
+      const NetRecord& r = trace.net[atom.index];
+      out += "net: p" + std::to_string(r.from) + " -> p" + std::to_string(r.to) + " " +
+             payload_name(r.type);
+      if (r.lost) {
+        out += " LOST";
+      } else {
+        out += " delayed " + std::to_string(r.delay);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const harness::ExperimentConfig& cfg,
+                        const Trace& violating_trace, const MinimizeOptions& opt) {
+  MinimizeResult result;
+  result.trace = violating_trace;
+
+  harness::MetricsReport report;
+  const auto run = [&cfg, &result, &opt, &report](const Trace& t) {
+    if (result.tests >= opt.max_tests) return false;  // budget-exhausted: keep
+    ++result.tests;
+    RunHooks hooks;
+    hooks.replay = &t;
+    report = harness::run_experiment(cfg, hooks);
+    return violates(report);
+  };
+
+  if (!run(violating_trace)) {
+    result.narrative = "input trace does not violate regularity; nothing to minimize\n";
+    return result;
+  }
+
+  const sim::Duration canon = canonical_delay(violating_trace);
+  std::vector<Atom> atoms;
+  for (std::size_t i = 0; i < violating_trace.churn.size(); ++i) {
+    atoms.push_back({true, i, violating_trace.churn[i].time});
+  }
+  for (std::size_t i = 0; i < violating_trace.net.size(); ++i) {
+    const NetRecord& r = violating_trace.net[i];
+    if (r.lost || r.delay != canon) atoms.push_back({false, i, r.time});
+  }
+  result.atoms = atoms.size();
+
+  // ddmin over atom indices: find a small subset to KEEP original (all
+  // others neutralized) such that the replay still violates.
+  std::vector<std::size_t> current(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) current[i] = i;
+
+  const auto test_keep = [&](const std::vector<std::size_t>& keep) {
+    return run(apply_keep(violating_trace, atoms, keep, canon));
+  };
+
+  std::size_t n = 2;
+  while (current.size() >= 2 && result.tests < opt.max_tests) {
+    const std::size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    // Try each chunk alone.
+    for (std::size_t start = 0; start < current.size() && !reduced; start += chunk) {
+      const std::size_t end = std::min(current.size(), start + chunk);
+      std::vector<std::size_t> subset(current.begin() + start, current.begin() + end);
+      if (test_keep(subset)) {
+        current = std::move(subset);
+        n = 2;
+        reduced = true;
+      }
+    }
+    // Try each complement (redundant at n == 2: it is the other chunk).
+    if (!reduced && n > 2) {
+      for (std::size_t start = 0; start < current.size() && !reduced; start += chunk) {
+        const std::size_t end = std::min(current.size(), start + chunk);
+        std::vector<std::size_t> complement;
+        complement.reserve(current.size() - (end - start));
+        complement.insert(complement.end(), current.begin(), current.begin() + start);
+        complement.insert(complement.end(), current.begin() + end, current.end());
+        if (test_keep(complement)) {
+          current = std::move(complement);
+          n = n > 3 ? n - 1 : 2;
+          reduced = true;
+        }
+      }
+    }
+    if (!reduced) {
+      if (n >= current.size()) break;
+      n = std::min(n * 2, current.size());
+    }
+  }
+
+  // Greedy 1-minimal pass: drop any single atom that proves removable.
+  for (std::size_t i = 0; i < current.size() && result.tests < opt.max_tests;) {
+    std::vector<std::size_t> candidate;
+    candidate.reserve(current.size() - 1);
+    candidate.insert(candidate.end(), current.begin(), current.begin() + i);
+    candidate.insert(candidate.end(), current.begin() + i + 1, current.end());
+    if (test_keep(candidate)) {
+      current = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+
+  result.trace = apply_keep(violating_trace, atoms, current, canon);
+  // Final confirmation run also provides the report the narrative cites.
+  ++result.tests;
+  RunHooks hooks;
+  hooks.replay = &result.trace;
+  report = harness::run_experiment(cfg, hooks);
+  result.violating = violates(report);
+  result.essential = current.size();
+  result.narrative = render_narrative(cfg, violating_trace, atoms, current, report,
+                                      canon, violating_trace.size());
+  return result;
+}
+
+}  // namespace dynreg::replay

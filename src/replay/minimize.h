@@ -1,0 +1,60 @@
+// Counterexample minimization: shrink a violating schedule trace to a
+// locally-minimal set of essential decisions via delta debugging (Zeller's
+// ddmin over "atoms"), then render it as a human-readable event narrative.
+//
+// An *atom* is one decision that can be neutralized independently:
+//
+//   churn record   neutralize = delete it (the join/leave never happens);
+//   net record     neutralize = canonicalize it (delivered, not lost, at
+//                  the trace's canonical delay — the median recorded delay)
+//                  — records already canonical are not atoms.
+//
+// Client picks are left untouched: they describe the workload (who was
+// asked to read), not the schedule, and the violation's reads are named by
+// the checker's report instead. The minimizer searches for the smallest
+// atom subset whose original values keep the replayed run violating; all
+// other atoms are neutralized. A greedy 1-minimal pass then drops any
+// single atom that proves removable, so the result is locally minimal:
+// neutralizing any one remaining essential decision makes the violation
+// disappear.
+//
+// Fully deterministic: atom order, chunking, and the test sequence are pure
+// functions of the input trace.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "harness/experiment.h"
+#include "replay/trace.h"
+
+namespace dynreg::replay {
+
+struct MinimizeOptions {
+  /// Hard cap on replays executed; the search stops (keeping the best
+  /// reduction so far) when exhausted. ddmin is O(atoms^2) worst case, so
+  /// the cap bounds pathological inputs, not typical ones.
+  std::size_t max_tests = 4000;
+};
+
+struct MinimizeResult {
+  /// The minimized schedule: every non-essential atom neutralized. Still
+  /// violates on replay (violating == true unless the input did not).
+  Trace trace;
+  std::size_t essential = 0;      ///< essential decisions kept
+  std::size_t atoms = 0;          ///< atoms in the input trace
+  std::size_t tests = 0;          ///< replays executed
+  bool violating = false;         ///< the minimized trace still violates
+  /// Ordered human-readable counterexample: scenario line, the violation
+  /// the checker reports, then the essential decisions in time order.
+  std::string narrative;
+};
+
+/// Minimizes `violating_trace` (a trace whose replay against `cfg` breaks
+/// regularity — typically SearchResult::counterexample). If the input does
+/// not actually violate, returns it unchanged with violating == false.
+MinimizeResult minimize(const harness::ExperimentConfig& cfg,
+                        const Trace& violating_trace,
+                        const MinimizeOptions& opt = {});
+
+}  // namespace dynreg::replay

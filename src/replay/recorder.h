@@ -1,0 +1,66 @@
+// Trace recording: observer + wrapper objects that capture one run's
+// nondeterminism-relevant decisions into a replay::Trace as the run makes
+// them. Pure pass-through — a recorded run consumes exactly the same rng
+// draws in exactly the same order as an unrecorded one, so recording never
+// changes the run it records.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "churn/system.h"
+#include "client/client.h"
+#include "net/delay_model.h"
+#include "replay/trace.h"
+
+namespace dynreg::replay {
+
+/// Captures churn-driven membership actions and client target picks.
+/// Install via System::set_churn_observer + Client::set_target_observer;
+/// must outlive the run. Network decisions are captured separately by
+/// RecordingDelayModel (the network owns its delay model, so a wrapper —
+/// not an observer — is the natural seam there).
+class TraceRecorder final : public churn::ChurnObserver, public client::TargetObserver {
+ public:
+  explicit TraceRecorder(Trace& out) : out_(out) {}
+
+  void on_churn_join(sim::Time t) override { out_.churn.push_back({t, true, 0}); }
+  void on_churn_leave(sim::Time t, sim::ProcessId victim) override {
+    out_.churn.push_back({t, false, victim});
+  }
+  void on_target(sim::Time now, sim::ProcessId chosen) override {
+    out_.picks.push_back({now, chosen});
+  }
+
+ private:
+  Trace& out_;
+};
+
+/// Wraps the run's real delay model, appending every verdict (loss decision
+/// + delivery delay) to the trace's net stream in transmit order.
+class RecordingDelayModel final : public net::DelayModel {
+ public:
+  RecordingDelayModel(std::unique_ptr<net::DelayModel> inner, Trace& out)
+      : inner_(std::move(inner)), out_(out) {}
+
+  sim::Duration delay(sim::Time now, sim::ProcessId from, sim::ProcessId to,
+                      const net::Payload& payload, sim::Rng& rng) override {
+    // Unreached through the network (verdict() is the single entry point),
+    // but the contract must hold for direct callers too.
+    return inner_->delay(now, from, to, payload, rng);
+  }
+
+  Verdict verdict(sim::Time now, sim::ProcessId from, sim::ProcessId to,
+                  const net::Payload& payload, double loss_rate, sim::Rng& rng) override {
+    const Verdict v = inner_->verdict(now, from, to, payload, loss_rate, rng);
+    out_.net.push_back(
+        {now, from, to, payload.type_id(), v.lost, v.lost ? sim::Duration{0} : v.delay});
+    return v;
+  }
+
+ private:
+  std::unique_ptr<net::DelayModel> inner_;
+  Trace& out_;
+};
+
+}  // namespace dynreg::replay

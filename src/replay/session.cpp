@@ -1,0 +1,91 @@
+#include "replay/session.h"
+
+#include <string>
+
+#include "replay/trace_io.h"
+
+namespace dynreg::replay {
+
+Session& Session::instance() {
+  static Session session;
+  return session;
+}
+
+void Session::begin_record() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mode_ = Mode::kRecord;
+  traces_.clear();
+  replays_ = 0;
+  hash_mismatches_ = 0;
+}
+
+void Session::begin_replay(std::vector<Trace> traces) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mode_ = Mode::kReplay;
+  traces_.clear();
+  replays_ = 0;
+  hash_mismatches_ = 0;
+  for (Trace& t : traces) {
+    const Key key{t.fingerprint, t.seed};
+    traces_.emplace(key, std::make_shared<const Trace>(std::move(t)));
+  }
+}
+
+void Session::end() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mode_ = Mode::kOff;
+  traces_.clear();
+  replays_ = 0;
+  hash_mismatches_ = 0;
+}
+
+Session::Mode Session::mode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mode_;
+}
+
+void Session::commit(Trace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ != Mode::kRecord) return;
+  const Key key{trace.fingerprint, trace.seed};
+  traces_.emplace(key, std::make_shared<const Trace>(std::move(trace)));
+}
+
+std::shared_ptr<const Trace> Session::find(std::uint64_t fingerprint,
+                                           std::uint64_t seed) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traces_.find(Key{fingerprint, seed});
+  if (it == traces_.end()) {
+    throw TraceError("no trace recorded for config fingerprint " +
+                     std::to_string(fingerprint) + ", seed " + std::to_string(seed) +
+                     " — the trace file does not cover this run (different "
+                     "experiment options?)");
+  }
+  return it->second;
+}
+
+void Session::note_replay(bool hash_match) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++replays_;
+  if (!hash_match) ++hash_mismatches_;
+}
+
+std::vector<Trace> Session::collected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Trace> out;
+  out.reserve(traces_.size());
+  for (const auto& [key, trace] : traces_) out.push_back(*trace);
+  return out;
+}
+
+std::size_t Session::replays() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replays_;
+}
+
+std::size_t Session::hash_mismatches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hash_mismatches_;
+}
+
+}  // namespace dynreg::replay

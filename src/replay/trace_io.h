@@ -1,0 +1,83 @@
+// Versioned binary serialization for schedule traces, and the canonical
+// ExperimentConfig encoding that both the trace file format and the replay
+// session's config fingerprint are built on.
+//
+// File format (all integers little-endian; "varint" is LEB128):
+//
+//   u32  magic    0x52545244 ("DRTR")
+//   u32  version  1
+//   varint experiment-name length + bytes   (registry id, may be empty)
+//   varint seed count + varint seeds        (the run set recorded)
+//   u8   has-config; if 1: canonical ExperimentConfig encoding (the single
+//        scenario the file's traces drive — search/minimize artifacts)
+//   varint trace count
+//   per trace:
+//     varint fingerprint, varint seed, u64 recorded-hash, u8 churn-loop
+//     three streams (net, churn, picks), each varint count + records with
+//     delta-encoded times and varint fields; net records carry the interned
+//     payload type id and a flags byte (lost)
+//   u64  checksum   fold64 over every preceding byte
+//
+// The decoder is fully bounds-checked and throws TraceError (with a
+// position-stamped message) on truncation, bad magic, unknown version, or a
+// checksum mismatch — never UB, whatever the bytes. trace_format_test
+// fuzzes it with seeded corruptions under ASan/UBSan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "replay/trace.h"
+
+namespace dynreg::replay {
+
+inline constexpr std::uint32_t kTraceMagic = 0x52545244u;  // "DRTR"
+inline constexpr std::uint32_t kTraceVersion = 1u;
+
+/// Malformed trace bytes (truncation, bad magic, version from the future,
+/// corrupted body). The message names the offending offset or field.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Canonical binary encoding of an ExperimentConfig — every field, in a
+/// fixed order, appended to `out`. The encoding (not the in-memory struct)
+/// is the unit of config identity: fingerprint() folds over it, and trace
+/// files embed it for scenario artifacts.
+void encode_config(const harness::ExperimentConfig& cfg, std::vector<std::uint8_t>& out);
+
+/// Inverse of encode_config; throws TraceError on malformed bytes.
+/// Advances `pos` past the encoding.
+harness::ExperimentConfig decode_config(const std::vector<std::uint8_t>& bytes,
+                                        std::size_t& pos);
+
+/// Identity of a run's scenario: fold64 over the canonical encoding of the
+/// config with its seed field zeroed (the replay session keys traces by
+/// (fingerprint, seed), so the seed must not leak into the fingerprint).
+/// Never 0 (0 means "no fingerprint").
+std::uint64_t fingerprint(const harness::ExperimentConfig& cfg);
+
+/// One trace artifact: a recorded run set (experiment + seeds, many traces)
+/// or a single scenario schedule (embedded config, one trace — what search
+/// and minimize write).
+struct TraceFile {
+  std::string experiment;                           ///< registry id, may be ""
+  std::vector<std::uint64_t> seeds;                 ///< recorded seed set
+  std::optional<harness::ExperimentConfig> config;  ///< scenario artifacts only
+  std::vector<Trace> traces;
+};
+
+std::vector<std::uint8_t> encode(const TraceFile& file);
+TraceFile decode(const std::vector<std::uint8_t>& bytes);
+
+/// Writes encode(file) to `path` (throws TraceError on I/O failure).
+void write_file(const std::string& path, const TraceFile& file);
+/// Reads and decodes `path` (throws TraceError on I/O or format failure).
+TraceFile read_file(const std::string& path);
+
+}  // namespace dynreg::replay

@@ -1,0 +1,119 @@
+// Counterexample minimizer: a searched Figure-3a-style violation shrinks to
+// a locally-minimal handful of essential decisions that still violates on
+// replay, the narrative is pinned against a golden file (regression for the
+// whole record -> search -> minimize pipeline), and a non-violating input
+// comes back unchanged.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "replay/hooks.h"
+#include "replay/minimize.h"
+#include "replay/search.h"
+#include "replay/trace_io.h"
+
+namespace dynreg::replay {
+namespace {
+
+/// The seeded scenario the golden narrative is pinned to — E14's search
+/// demo target: the no-wait ablation under legal churn, where search finds
+/// a compact counterexample (a joiner misses the in-flight WRITE).
+harness::ExperimentConfig golden_scenario() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kSyncNoWait;
+  cfg.n = 10;
+  cfg.delta = 5;
+  cfg.duration = 400;
+  cfg.leave_policy = churn::LeavePolicy::kOldestActiveFirst;
+  cfg.workload.read_interval = 3;
+  cfg.workload.write_interval = 20;
+  cfg.churn_rate = 0.4 * cfg.sync_churn_threshold();
+  return cfg;
+}
+
+SearchResult golden_search(const harness::ExperimentConfig& cfg) {
+  const Trace base = record_base(cfg);
+  SearchOptions opt;  // defaults: seed 1, budget 400 below
+  opt.budget = 400;
+  opt.jobs = 4;
+  return search(cfg, base, opt);
+}
+
+TEST(Minimizer, ShrinksASearchedViolationToEssentialDecisions) {
+  const harness::ExperimentConfig cfg = golden_scenario();
+  const SearchResult found = golden_search(cfg);
+  ASSERT_TRUE(found.first_violation.has_value())
+      << "search no longer finds the seeded violation";
+
+  const MinimizeResult min = minimize(cfg, found.counterexample);
+  EXPECT_TRUE(min.violating);
+  EXPECT_GT(min.atoms, 0u);
+  EXPECT_GE(min.essential, 1u);
+  EXPECT_LE(min.essential, 30u) << "counterexample no longer human-sized";
+  EXPECT_LT(min.essential, min.atoms / 10) << "ddmin barely reduced the trace";
+  EXPECT_GT(min.tests, 0u);
+
+  // The minimized trace itself still violates on replay.
+  RunHooks hooks;
+  hooks.replay = &min.trace;
+  EXPECT_TRUE(violates(harness::run_experiment(cfg, hooks)));
+
+  // Local minimality contract: the narrative lists exactly the essential
+  // decisions.
+  EXPECT_NE(min.narrative.find("counterexample: " + std::to_string(min.essential)),
+            std::string::npos)
+      << min.narrative;
+  EXPECT_NE(min.narrative.find("stale read"), std::string::npos) << min.narrative;
+}
+
+TEST(Minimizer, NarrativeMatchesTheGoldenFile) {
+  const harness::ExperimentConfig cfg = golden_scenario();
+  const SearchResult found = golden_search(cfg);
+  ASSERT_TRUE(found.first_violation.has_value());
+  const MinimizeResult min = minimize(cfg, found.counterexample);
+
+  const std::string path = std::string(DYNREG_TESTDATA_DIR) + "/minimized_narrative.txt";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  // Byte-for-byte: the whole pipeline (recorder, perturbation draws, ddmin
+  // schedule, narrative rendering) feeds this string; any drift is a
+  // determinism regression or an intentional format change — regenerate via
+  // tests/testdata/README.md in the latter case.
+  EXPECT_EQ(min.narrative, golden.str());
+}
+
+TEST(Minimizer, MinimizedTraceRoundTripsThroughTheFileFormat) {
+  const harness::ExperimentConfig cfg = golden_scenario();
+  const SearchResult found = golden_search(cfg);
+  ASSERT_TRUE(found.first_violation.has_value());
+  const MinimizeResult min = minimize(cfg, found.counterexample);
+
+  TraceFile file;
+  file.config = cfg;
+  file.traces = {min.trace};
+  const TraceFile back = decode(encode(file));
+  ASSERT_EQ(back.traces.size(), 1u);
+  RunHooks hooks;
+  hooks.replay = &back.traces[0];
+  EXPECT_TRUE(violates(harness::run_experiment(*back.config, hooks)));
+}
+
+TEST(Minimizer, NonViolatingInputComesBackUnchanged) {
+  const harness::ExperimentConfig cfg = golden_scenario();
+  const Trace base = record_base(cfg);  // the unperturbed schedule is clean
+  const MinimizeResult min = minimize(cfg, base);
+  EXPECT_FALSE(min.violating);
+  TraceFile fa;
+  fa.traces = {base};
+  TraceFile fb;
+  fb.traces = {min.trace};
+  EXPECT_EQ(encode(fa), encode(fb));
+}
+
+}  // namespace
+}  // namespace dynreg::replay

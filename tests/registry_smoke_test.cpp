@@ -9,12 +9,12 @@
 namespace dynreg::bench {
 namespace {
 
-TEST(Registry, AllThirteenExperimentsRegistered) {
+TEST(Registry, AllFourteenExperimentsRegistered) {
   const auto all = ExperimentRegistry::instance().list();
-  ASSERT_EQ(all.size(), 13u);
+  ASSERT_EQ(all.size(), 14u);
   // Ordered by paper-experiment id.
   EXPECT_EQ(all.front()->id, "E1");
-  EXPECT_EQ(all.back()->id, "E13");
+  EXPECT_EQ(all.back()->id, "E14");
   for (const Experiment* e : all) {
     EXPECT_FALSE(e->name.empty());
     EXPECT_FALSE(e->paper_ref.empty());
