@@ -4,6 +4,7 @@
 //       Tabulates every registered experiment: name, paper claim, grid.
 //   dynreg_exp run <name>... [--seeds=N] [--jobs=N] [--format=F] [--out=DIR]
 //              [--workload=W] [--clients=N] [--think=N] [--burst=ON/OFF]
+//              [--max-n=N]
 //   dynreg_exp run --all [options]
 //       Runs experiments. --seeds sets replicas per sweep point (0/omitted:
 //       experiment default); --jobs caps parallel replicas (0: one per
@@ -65,7 +66,7 @@ int usage(std::ostream& os, int code) {
         "       dynreg_exp run (<name>... | --all) [--seeds=N] [--jobs=N]\n"
         "                  [--format=table|json|csv] [--out=DIR]\n"
         "                  [--workload=open|closed|bursty] [--clients=N]\n"
-        "                  [--think=N] [--burst=ON/OFF]\n"
+        "                  [--think=N] [--burst=ON/OFF] [--max-n=N]\n"
         "       dynreg_exp record <name> --out=FILE [--seeds=N] [--jobs=N]\n"
         "       dynreg_exp replay FILE [--jobs=N]\n"
         "       dynreg_exp search <name|FILE> [--budget=N] [--seed=N] [--jobs=N]\n"
@@ -173,6 +174,13 @@ int cmd_run(const std::vector<std::string>& args) {
       }
       opts.workload.burst_on = static_cast<sim::Duration>(*on);
       opts.workload.burst_off = static_cast<sim::Duration>(*off);
+    } else if (auto vm = flag_value(arg, "--max-n")) {
+      const auto n = parse_count(*vm);
+      if (!n || *n == 0) {
+        std::cerr << "bad --max-n value: " << *vm << "\n";
+        return 2;
+      }
+      opts.max_n = *n;
     } else if (auto vo = flag_value(arg, "--out")) {
       out_dir = *vo;
     } else if (arg == "--all") {

@@ -48,6 +48,11 @@ struct RunOptions {
   std::size_t seeds = 0;
   /// Max replicas in flight at once; 0 means one per hardware thread.
   std::size_t jobs = 1;
+  /// Ceiling for system-size (n) grids in the scaling experiments (E15,
+  /// E16): the default grids stop at an affordable size; passing a larger
+  /// --max-n extends them to it (e.g. --max-n=100000 adds a 1e5 point).
+  /// 0 means each experiment's default grid. Other experiments ignore it.
+  std::size_t max_n = 0;
   WorkloadOverrides workload;
 };
 

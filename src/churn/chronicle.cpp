@@ -7,6 +7,9 @@
 namespace dynreg::churn {
 
 void Chronicle::note_enter(sim::ProcessId id, sim::Time at, bool initial) {
+  // Ids are handed out contiguously, so this is a push_back in the common
+  // case; the resize keeps the dense-index invariant if one is ever skipped.
+  if (id >= records_.size()) records_.resize(id + 1);
   Record r;
   r.entered = at;
   r.initial = initial;
@@ -23,7 +26,7 @@ void Chronicle::note_left(sim::ProcessId id, sim::Time at) {
 
 std::size_t Chronicle::active_at(sim::Time t) const {
   std::size_t n = 0;
-  for (const auto& [id, r] : records_) {
+  for (const Record& r : records_) {
     if (r.activated && *r.activated <= t && (!r.left || *r.left > t)) ++n;
   }
   return n;
@@ -34,7 +37,7 @@ std::size_t Chronicle::active_through(sim::Time t1, sim::Time t2) const {
   // same convention as active_at, so A(t1, t2) is a subset of every A(t)
   // with t in [t1, t2].
   std::size_t n = 0;
-  for (const auto& [id, r] : records_) {
+  for (const Record& r : records_) {
     if (r.activated && *r.activated <= t1 && (!r.left || *r.left > t2)) ++n;
   }
   return n;
@@ -47,7 +50,7 @@ std::size_t Chronicle::min_active_through_window(sim::Duration window,
   // A record counts for window-start t iff activated <= t and left > t +
   // window, i.e. for the contiguous range t in [activated, left - window - 1].
   std::vector<std::int64_t> diff(static_cast<std::size_t>(last_start) + 2, 0);
-  for (const auto& [id, r] : records_) {
+  for (const Record& r : records_) {
     if (!r.activated) continue;
     const sim::Time lo = *r.activated;
     if (lo > last_start) continue;
@@ -72,7 +75,7 @@ std::size_t Chronicle::min_active_through_window(sim::Duration window,
 
 std::size_t Chronicle::min_active_at(sim::Time horizon) const {
   std::vector<std::int64_t> diff(static_cast<std::size_t>(horizon) + 2, 0);
-  for (const auto& [id, r] : records_) {
+  for (const Record& r : records_) {
     if (!r.activated || *r.activated > horizon) continue;
     diff[static_cast<std::size_t>(*r.activated)] += 1;
     if (r.left && *r.left <= horizon) diff[static_cast<std::size_t>(*r.left)] -= 1;

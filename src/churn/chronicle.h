@@ -6,8 +6,8 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "sim/simulation.h"
 
@@ -26,7 +26,16 @@ class Chronicle {
   void note_activated(sim::ProcessId id, sim::Time at);
   void note_left(sim::ProcessId id, sim::Time at);
 
-  [[nodiscard]] const std::map<sim::ProcessId, Record>& records() const { return records_; }
+  /// Dense, id-indexed records: System hands out ids contiguously from 0, so
+  /// index == ProcessId. (Was a std::map; at 1e5 processes the analyses
+  /// below walk the whole history, and a contiguous sweep beats a pointer
+  /// chase per process.)
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+  /// The record for `id`, or nullptr if that id never entered.
+  [[nodiscard]] const Record* record(sim::ProcessId id) const {
+    return id < records_.size() ? &records_[id] : nullptr;
+  }
 
   /// |A(t)|: processes active at instant t (activated <= t, not yet left).
   std::size_t active_at(sim::Time t) const;
@@ -43,7 +52,7 @@ class Chronicle {
   std::size_t min_active_at(sim::Time horizon) const;
 
  private:
-  std::map<sim::ProcessId, Record> records_;
+  std::vector<Record> records_;  // indexed by ProcessId
 };
 
 }  // namespace dynreg::churn

@@ -5,6 +5,21 @@
 
 namespace dynreg::churn {
 
+namespace {
+
+// Sorted-vector erase; no-op when absent. Keeps ascending order (and with it
+// the deterministic iteration / RNG draw sequence) without a tree.
+void erase_sorted(std::vector<sim::ProcessId>& ids, sim::ProcessId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it != ids.end() && *it == id) ids.erase(it);
+}
+
+void insert_sorted(std::vector<sim::ProcessId>& ids, sim::ProcessId id) {
+  ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+}
+
+}  // namespace
+
 System::System(sim::Simulation& sim, net::Network& net, SystemConfig config,
                std::unique_ptr<ChurnModel> churn, NodeFactory factory)
     : sim_(sim),
@@ -25,33 +40,44 @@ sim::ProcessId System::spawn() {
   return add_member(/*initial=*/false);
 }
 
+void System::ensure_slot(sim::ProcessId id) {
+  if (id < node_.size()) return;
+  const std::size_t n = id + 1;
+  ctx_.resize(n);
+  node_.resize(n);
+  activated_at_.resize(n, 0);
+  active_flag_.resize(n, 0);
+}
+
 sim::ProcessId System::add_member(bool initial) {
   const sim::ProcessId id = next_id_++;
   chronicle_.note_enter(id, sim_.now(), initial);
+  // Grow the columns before the node exists: a bootstrap node's constructor
+  // notifies activation synchronously, and the callback writes the columns.
+  ensure_slot(id);
 
-  Member member;
-  member.ctx = std::make_unique<node::Context>(sim_, net_, id, [this, id] {
+  auto ctx = std::make_unique<node::Context>(sim_, net_, id, [this, id] {
     // Runs when the node's join protocol completes (or immediately, for
-    // bootstrap members). The member map entry may not exist yet when a
+    // bootstrap members). The node_ column entry may not be set yet when a
     // constructor notifies, so only chronicle/active bookkeeping lives here.
-    const auto rec = chronicle_.records().find(id);
-    const bool initial_member = rec != chronicle_.records().end() && rec->second.initial;
+    const Chronicle::Record* rec = chronicle_.record(id);
+    const bool initial_member = rec != nullptr && rec->initial;
     chronicle_.note_activated(id, sim_.now());
-    active_.emplace(id, sim_.now());
-    const auto it = members_.find(id);
-    if (it != members_.end()) it->second.active = true;
+    activated_at_[id] = sim_.now();
+    active_flag_[id] = 1;
+    insert_sorted(active_ids_, id);
     if (!initial_member) {
       ++joins_completed_;
-      join_latency_total_ += sim_.now() - (rec != chronicle_.records().end()
-                                               ? rec->second.entered
-                                               : sim_.now());
+      join_latency_total_ +=
+          sim_.now() - (rec != nullptr ? rec->entered : sim_.now());
     }
   });
-  member.node = factory_(id, *member.ctx, initial);
+  std::unique_ptr<node::Node> node = factory_(id, *ctx, initial);
 
-  auto [it, inserted] = members_.emplace(id, std::move(member));
-  if (active_.count(id) != 0) it->second.active = true;  // ctor notified already
-  node::Node* raw = it->second.node.get();
+  ctx_[id] = std::move(ctx);
+  node_[id] = std::move(node);
+  member_ids_.push_back(id);  // ids are monotone: append keeps the order
+  node::Node* raw = node_[id].get();
   net_.attach(id, [raw](sim::ProcessId from, const net::Payload& payload) {
     raw->on_message(from, payload);
   });
@@ -59,35 +85,28 @@ sim::ProcessId System::add_member(bool initial) {
 }
 
 void System::leave(sim::ProcessId id) {
-  const auto it = members_.find(id);
-  if (it == members_.end()) return;
-  if (!it->second.active) ++joins_abandoned_;
+  if (!is_member(id)) return;
+  if (active_flag_[id] == 0) ++joins_abandoned_;
   chronicle_.note_left(id, sim_.now());
   net_.detach(id);
-  it->second.ctx->invalidate();
-  // Remove the member from every map *before* resolving its in-flight
+  ctx_[id]->invalidate();
+  // Clear every membership column *before* resolving the node's in-flight
   // operations: a resolution hook that synchronously issues a new operation
   // must observe the departure (find() returning nullptr, the id absent
   // from active_ids()) rather than a half-torn-down node whose completion
   // would leak. Timers are already dead and the network slot gone, so the
   // resolutions can schedule follow-up events (e.g. client retries) but can
   // no longer reach this node.
-  Member member = std::move(it->second);
-  active_.erase(id);
-  members_.erase(it);
-  member.node->on_departure();
+  std::unique_ptr<node::Context> ctx = std::move(ctx_[id]);
+  std::unique_ptr<node::Node> node = std::move(node_[id]);
+  active_flag_[id] = 0;
+  erase_sorted(active_ids_, id);
+  erase_sorted(member_ids_, id);
+  node->on_departure();
 }
 
 node::Node* System::find(sim::ProcessId id) {
-  const auto it = members_.find(id);
-  return it == members_.end() ? nullptr : it->second.node.get();
-}
-
-std::vector<sim::ProcessId> System::active_ids() const {
-  std::vector<sim::ProcessId> ids;
-  ids.reserve(active_.size());
-  for (const auto& [id, at] : active_) ids.push_back(id);
-  return ids;
+  return is_member(id) ? node_[id].get() : nullptr;
 }
 
 void System::churn_step() {
@@ -103,7 +122,7 @@ void System::churn_step() {
       if (observer_ != nullptr) observer_->on_churn_join(sim_.now());
       spawn();
       const sim::ProcessId victim = pick_victim();
-      if (members_.count(victim) != 0) {
+      if (is_member(victim)) {
         if (observer_ != nullptr) observer_->on_churn_leave(sim_.now(), victim);
         leave(victim);
       }
@@ -123,10 +142,10 @@ void System::scripted_churn_step() {
     if (action.join) {
       if (observer_ != nullptr) observer_->on_churn_join(sim_.now());
       spawn();
-    } else if (members_.count(action.victim) != 0) {
+    } else if (is_member(action.victim)) {
       // A perturbed trace may name a victim that already left (or was
       // never spawned on the diverged path); the leave simply has no
-      // effect, mirroring the rate-based path's members_ check.
+      // effect, mirroring the rate-based path's membership check.
       if (observer_ != nullptr) observer_->on_churn_leave(sim_.now(), action.victim);
       leave(action.victim);
     }
@@ -141,15 +160,16 @@ sim::ProcessId System::pick_victim() {
 
   if (config_.leave_policy == LeavePolicy::kOldestActiveFirst) {
     // Adversarial: remove the member that has been active longest — the one
-    // most likely to hold the register value (Lemma 2's worst case).
+    // most likely to hold the register value (Lemma 2's worst case). The
+    // ascending-id sweep reproduces the old map's tie-break (lowest id).
     sim::ProcessId best = 0;
     bool found = false;
     sim::Time best_at = 0;
-    for (const auto& [id, at] : active_) {
+    for (const sim::ProcessId id : active_ids_) {
       if (exempt(id)) continue;
-      if (!found || at < best_at) {
+      if (!found || activated_at_[id] < best_at) {
         best = id;
-        best_at = at;
+        best_at = activated_at_[id];
         found = true;
       }
     }
@@ -158,8 +178,8 @@ sim::ProcessId System::pick_victim() {
   }
 
   std::vector<sim::ProcessId> candidates;
-  candidates.reserve(members_.size());
-  for (const auto& [id, m] : members_) {
+  candidates.reserve(member_ids_.size());
+  for (const sim::ProcessId id : member_ids_) {
     if (!exempt(id)) candidates.push_back(id);
   }
   if (candidates.empty()) return next_id_;  // nobody eligible; no-op leave

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -78,11 +78,17 @@ class System {
 
   [[nodiscard]] const Chronicle& chronicle() const { return chronicle_; }
 
-  /// Ids of members whose join has completed, ascending.
-  std::vector<sim::ProcessId> active_ids() const;
+  /// Ids of members whose join has completed, ascending. Returned by
+  /// reference (no copy): clients pick a random target per operation, and at
+  /// 1e5 members a per-op copy would dominate the op itself. The reference
+  /// is invalidated by any join/leave/activation — take what you need before
+  /// yielding to the simulation.
+  [[nodiscard]] const std::vector<sim::ProcessId>& active_ids() const {
+    return active_ids_;
+  }
 
-  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
-  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] std::size_t member_count() const { return member_ids_.size(); }
+  [[nodiscard]] std::size_t active_count() const { return active_ids_.size(); }
 
   // Join bookkeeping (joiners only; bootstrap members are not counted).
   [[nodiscard]] std::uint64_t joins_started() const { return joins_started_; }
@@ -93,16 +99,15 @@ class System {
   [[nodiscard]] std::uint64_t join_latency_total() const { return join_latency_total_; }
 
  private:
-  struct Member {
-    std::unique_ptr<node::Context> ctx;
-    std::unique_ptr<node::Node> node;
-    bool active = false;
-  };
-
   sim::ProcessId add_member(bool initial);
   void churn_step();
   void scripted_churn_step();
   sim::ProcessId pick_victim();
+  /// Grows the id-indexed columns to cover `id`.
+  void ensure_slot(sim::ProcessId id);
+  [[nodiscard]] bool is_member(sim::ProcessId id) const {
+    return id < node_.size() && node_[id] != nullptr;
+  }
 
   sim::Simulation& sim_;
   net::Network& net_;
@@ -110,8 +115,22 @@ class System {
   std::unique_ptr<ChurnModel> churn_;
   NodeFactory factory_;
 
-  std::map<sim::ProcessId, Member> members_;  // ordered: deterministic iteration
-  std::map<sim::ProcessId, sim::Time> active_;  // id -> activation time
+  // Member state as id-indexed struct-of-arrays columns (ids are dense and
+  // never reused, so index == ProcessId; a null node_ entry means "not a
+  // member"). The previous std::map<id, Member> cost a pointer chase per
+  // lookup and O(members) node-hopping per iteration; the columns make
+  // membership O(1) and iteration a contiguous sweep of the two sorted id
+  // vectors. member_ids_ stays sorted for free (new ids are always the
+  // largest); active_ids_ inserts in id order on activation. Both erase by
+  // shift on leave — contiguous memmove, cheaper in practice than the old
+  // tree rebalance, and the iteration order (ascending id) is bit-identical
+  // to the map's, which the RNG draw sequence depends on.
+  std::vector<std::unique_ptr<node::Context>> ctx_;   // column: per-id context
+  std::vector<std::unique_ptr<node::Node>> node_;     // column: per-id node
+  std::vector<sim::Time> activated_at_;               // column: activation time
+  std::vector<std::uint8_t> active_flag_;             // column: join completed
+  std::vector<sim::ProcessId> member_ids_;  // sorted ascending, live members
+  std::vector<sim::ProcessId> active_ids_;  // sorted ascending, active members
   Chronicle chronicle_;
   ChurnObserver* observer_ = nullptr;  // non-owning
   sim::ProcessId next_id_ = 0;

@@ -47,7 +47,7 @@ OpHandle Client::session_read(sim::ProcessId target, OpOptions options, OpHook d
 }
 
 std::optional<sim::ProcessId> Client::random_active() {
-  const auto actives = system_.active_ids();
+  const auto& actives = system_.active_ids();
   if (actives.empty()) return std::nullopt;
   const sim::ProcessId chosen =
       chooser_ != nullptr

@@ -34,7 +34,7 @@ void AbdRegisterNode::read(const OpContext&, ReadCompletion done) {
     r.best_value = value_;
     r.has_best = true;
   }
-  ctx_.broadcast(net::make_payload<msg::AbdReadQuery>(rid));
+  ctx_.broadcast(ctx_.make_payload<msg::AbdReadQuery>(rid));
   if (r.repliers.size() >= majority()) start_writeback(rid);  // n == 1 corner
 }
 
@@ -51,7 +51,7 @@ void AbdRegisterNode::write(const OpContext&, Value v, WriteCompletion done) {
     apply(ts, v);
     w.ackers.insert(id());
   }
-  ctx_.broadcast(net::make_payload<msg::AbdUpdate>(wid, ts, v));
+  ctx_.broadcast(ctx_.make_payload<msg::AbdUpdate>(wid, ts, v));
   maybe_finish_write(wid);  // n == 1 corner
 }
 
@@ -63,7 +63,7 @@ void AbdRegisterNode::start_writeback(std::uint64_t rid) {
     apply(r.best_ts, r.best_value);
     r.wb_ackers.insert(id());
   }
-  ctx_.broadcast(net::make_payload<msg::AbdWriteback>(rid, r.best_ts, r.best_value));
+  ctx_.broadcast(ctx_.make_payload<msg::AbdWriteback>(rid, r.best_ts, r.best_value));
   maybe_finish_read(rid);
 }
 
@@ -106,7 +106,7 @@ void AbdRegisterNode::on_message(sim::ProcessId from, const net::Payload& payloa
   if (type == msg::AbdReadQuery::kTypeId) {
     if (!replica_) return;
     const auto& m = static_cast<const msg::AbdReadQuery&>(payload);
-    ctx_.send(from, net::make_payload<msg::AbdReadReply>(m.rid, ts_, value_));
+    ctx_.send(from, ctx_.make_payload<msg::AbdReadReply>(m.rid, ts_, value_));
   } else if (type == msg::AbdReadReply::kTypeId) {
     const auto& m = static_cast<const msg::AbdReadReply&>(payload);
     const auto it = reads_.find(m.rid);
@@ -123,7 +123,7 @@ void AbdRegisterNode::on_message(sim::ProcessId from, const net::Payload& payloa
     if (!replica_) return;
     const auto& m = static_cast<const msg::AbdWriteback&>(payload);
     apply(m.ts, m.value);
-    ctx_.send(from, net::make_payload<msg::AbdWritebackAck>(m.rid));
+    ctx_.send(from, ctx_.make_payload<msg::AbdWritebackAck>(m.rid));
   } else if (type == msg::AbdWritebackAck::kTypeId) {
     const auto& m = static_cast<const msg::AbdWritebackAck&>(payload);
     const auto it = reads_.find(m.rid);
@@ -134,7 +134,7 @@ void AbdRegisterNode::on_message(sim::ProcessId from, const net::Payload& payloa
     if (!replica_) return;
     const auto& m = static_cast<const msg::AbdUpdate&>(payload);
     apply(m.ts, m.value);
-    ctx_.send(from, net::make_payload<msg::AbdUpdateAck>(m.wid));
+    ctx_.send(from, ctx_.make_payload<msg::AbdUpdateAck>(m.wid));
   } else if (type == msg::AbdUpdateAck::kTypeId) {
     const auto& m = static_cast<const msg::AbdUpdateAck&>(payload);
     const auto it = writes_.find(m.wid);

@@ -9,7 +9,14 @@ namespace dynreg {
 
 EsRegisterNode::EsRegisterNode(sim::ProcessId id, node::Context& ctx, EsConfig config,
                                bool initial)
-    : RegisterNode(id), ctx_(ctx), config_(std::move(config)) {
+    : RegisterNode(id),
+      ctx_(ctx),
+      config_(std::move(config)),
+      // The pending containers draw their nodes from the simulation's epoch
+      // arena (ArenaAllocator<char> converts to each container's allocator).
+      reads_(sim::ArenaAllocator<char>(ctx.arena())),
+      writes_(sim::ArenaAllocator<char>(ctx.arena())),
+      join_repliers_(sim::ArenaAllocator<char>(ctx.arena())) {
   if (initial) {
     value_ = config_.initial_value;
     ts_ = Timestamp{0, 0};
@@ -35,13 +42,13 @@ void EsRegisterNode::apply(const Timestamp& ts, Value v) {
 void EsRegisterNode::start_join() {
   join_pending_ = true;
   join_id_ = static_cast<std::uint64_t>(id()) << 32;
-  ctx_.broadcast(net::make_payload<msg::EsJoin>(join_id_));
+  ctx_.broadcast(ctx_.make_payload<msg::EsJoin>(join_id_));
   ctx_.schedule_after(config_.retransmit_interval, [this] { retransmit_join(); });
 }
 
 void EsRegisterNode::retransmit_join() {
   if (!join_pending_) return;
-  ctx_.broadcast(net::make_payload<msg::EsJoin>(join_id_));
+  ctx_.broadcast(ctx_.make_payload<msg::EsJoin>(join_id_));
   ctx_.schedule_after(config_.retransmit_interval, [this] { retransmit_join(); });
 }
 
@@ -49,7 +56,7 @@ void EsRegisterNode::retransmit_join() {
 
 void EsRegisterNode::read(const OpContext&, ReadCompletion done) {
   const std::uint64_t rid = next_rid_++;
-  PendingRead& r = reads_[rid];
+  PendingRead& r = reads_.try_emplace(rid, ctx_.arena()).first->second;
   r.done = std::move(done);
   // The reader's own copy counts towards the quorum without a message.
   r.repliers.insert(id());
@@ -58,7 +65,7 @@ void EsRegisterNode::read(const OpContext&, ReadCompletion done) {
     r.best_value = value_;
     r.has_value = true;
   }
-  ctx_.broadcast(net::make_payload<msg::EsRead>(rid));
+  ctx_.broadcast(ctx_.make_payload<msg::EsRead>(rid));
   ctx_.schedule_after(config_.retransmit_interval, [this, rid] { retransmit_read(rid); });
   if (r.repliers.size() >= majority()) finish_read(rid);  // n == 1 corner
 }
@@ -66,7 +73,7 @@ void EsRegisterNode::read(const OpContext&, ReadCompletion done) {
 void EsRegisterNode::retransmit_read(std::uint64_t rid) {
   const auto it = reads_.find(rid);
   if (it == reads_.end() || it->second.in_writeback) return;
-  ctx_.broadcast(net::make_payload<msg::EsRead>(rid));
+  ctx_.broadcast(ctx_.make_payload<msg::EsRead>(rid));
   ctx_.schedule_after(config_.retransmit_interval, [this, rid] { retransmit_read(rid); });
 }
 
@@ -85,16 +92,16 @@ void EsRegisterNode::finish_read(std::uint64_t rid) {
 void EsRegisterNode::start_writeback(std::uint64_t rid) {
   // ABD-style second phase: make the value about to be returned reach a
   // majority before returning it, so no later read can see an older one.
-  PendingRead& r = reads_[rid];
+  PendingRead& r = reads_.find(rid)->second;  // caller verified presence
   r.in_writeback = true;
   const std::uint64_t wid = (next_wid_++ << 1) | 1;
-  PendingWrite& w = writes_[wid];
+  PendingWrite& w = writes_.try_emplace(wid, ctx_.arena()).first->second;
   w.ts = r.best_ts;
   w.value = r.best_value;
   w.is_read_writeback = true;
   w.rid = rid;
   w.ackers.insert(id());
-  ctx_.broadcast(net::make_payload<msg::EsWrite>(wid, w.ts, w.value));
+  ctx_.broadcast(ctx_.make_payload<msg::EsWrite>(wid, w.ts, w.value));
   ctx_.schedule_after(config_.retransmit_interval, [this, wid] { retransmit_write(wid); });
   maybe_finish_write(wid);  // n == 1 corner: the self-vote is the quorum
 }
@@ -108,12 +115,12 @@ void EsRegisterNode::write(const OpContext&, Value v, WriteCompletion done) {
   const Timestamp ts{std::max(ts_.sn, max_seen_sn_) + 1, id()};
   apply(ts, v);
   const std::uint64_t wid = next_wid_++ << 1;
-  PendingWrite& w = writes_[wid];
+  PendingWrite& w = writes_.try_emplace(wid, ctx_.arena()).first->second;
   w.done = std::move(done);
   w.ts = ts;
   w.value = v;
   w.ackers.insert(id());
-  ctx_.broadcast(net::make_payload<msg::EsWrite>(wid, ts, v));
+  ctx_.broadcast(ctx_.make_payload<msg::EsWrite>(wid, ts, v));
   ctx_.schedule_after(config_.retransmit_interval, [this, wid] { retransmit_write(wid); });
   maybe_finish_write(wid);  // n == 1 corner: the self-vote is the quorum
 }
@@ -150,7 +157,7 @@ void EsRegisterNode::on_departure() {
 void EsRegisterNode::retransmit_write(std::uint64_t wid) {
   const auto it = writes_.find(wid);
   if (it == writes_.end()) return;
-  ctx_.broadcast(net::make_payload<msg::EsWrite>(wid, it->second.ts, it->second.value));
+  ctx_.broadcast(ctx_.make_payload<msg::EsWrite>(wid, it->second.ts, it->second.value));
   ctx_.schedule_after(config_.retransmit_interval, [this, wid] { retransmit_write(wid); });
 }
 
@@ -163,7 +170,7 @@ void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload
     // Every process — active or joining — stores newer values and acks.
     const auto& m = static_cast<const msg::EsWrite&>(payload);
     apply(m.ts, m.value);
-    ctx_.send(from, net::make_payload<msg::EsAck>(m.wid));
+    ctx_.send(from, ctx_.make_payload<msg::EsAck>(m.wid));
   } else if (type == msg::EsAck::kTypeId) {
     const auto& m = static_cast<const msg::EsAck&>(payload);
     const auto it = writes_.find(m.wid);
@@ -173,7 +180,7 @@ void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload
   } else if (type == msg::EsRead::kTypeId) {
     const auto& m = static_cast<const msg::EsRead&>(payload);
     if (active_) {
-      ctx_.send(from, net::make_payload<msg::EsReply>(m.rid, ts_, value_, has_value_));
+      ctx_.send(from, ctx_.make_payload<msg::EsReply>(m.rid, ts_, value_, has_value_));
     }
   } else if (type == msg::EsReply::kTypeId) {
     const auto& m = static_cast<const msg::EsReply&>(payload);
@@ -191,7 +198,7 @@ void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload
     const auto& m = static_cast<const msg::EsJoin&>(payload);
     if (active_) {
       ctx_.send(from,
-                net::make_payload<msg::EsJoinReply>(m.jid, ts_, value_, has_value_));
+                ctx_.make_payload<msg::EsJoinReply>(m.jid, ts_, value_, has_value_));
     }
   } else if (type == msg::EsJoinReply::kTypeId) {
     const auto& m = static_cast<const msg::EsJoinReply&>(payload);

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "dynreg/register_node.h"
 #include "dynreg/types.h"
 #include "node/context.h"
+#include "sim/arena.h"
 
 namespace dynreg {
 
@@ -43,19 +45,35 @@ class EsRegisterNode final : public RegisterNode {
   bool is_active() const override { return active_; }
 
  private:
+  // Pending-operation state lives in the simulation's epoch arena: every
+  // node-tree allocation (map nodes, replier-set nodes) is a short-lived,
+  // uniform-size object churned once per in-flight operation, exactly the
+  // traffic the arena batches. The arena outlives the node (it belongs to
+  // the Simulation), so erase/destruction order is unconstrained.
+  using ArenaIdSet = std::set<sim::ProcessId, std::less<sim::ProcessId>,
+                              sim::ArenaAllocator<sim::ProcessId>>;
+  template <typename V>
+  using ArenaOpMap =
+      std::map<std::uint64_t, V, std::less<std::uint64_t>,
+               sim::ArenaAllocator<std::pair<const std::uint64_t, V>>>;
+
   struct PendingRead {
+    explicit PendingRead(sim::Arena& arena)
+        : repliers(sim::ArenaAllocator<sim::ProcessId>(arena)) {}
     ReadCompletion done;
-    std::set<sim::ProcessId> repliers;
+    ArenaIdSet repliers;
     Timestamp best_ts;
     Value best_value = kBottom;
     bool has_value = false;
     bool in_writeback = false;
   };
   struct PendingWrite {
+    explicit PendingWrite(sim::Arena& arena)
+        : ackers(sim::ArenaAllocator<sim::ProcessId>(arena)) {}
     WriteCompletion done;
     Timestamp ts;
     Value value = kBottom;
-    std::set<sim::ProcessId> ackers;
+    ArenaIdSet ackers;
     bool is_read_writeback = false;
     std::uint64_t rid = 0;  // owning read, when is_read_writeback
   };
@@ -83,9 +101,9 @@ class EsRegisterNode final : public RegisterNode {
   std::uint64_t join_id_ = 0;
   std::uint64_t max_seen_sn_ = 0;
 
-  std::map<std::uint64_t, PendingRead> reads_;
-  std::map<std::uint64_t, PendingWrite> writes_;
-  std::set<sim::ProcessId> join_repliers_;
+  ArenaOpMap<PendingRead> reads_;
+  ArenaOpMap<PendingWrite> writes_;
+  ArenaIdSet join_repliers_;
   bool join_pending_ = false;
   Timestamp join_best_ts_;
   Value join_best_value_ = kBottom;

@@ -30,7 +30,7 @@ SyncRegisterNode::SyncRegisterNode(sim::ProcessId id, node::Context& ctx,
 }
 
 void SyncRegisterNode::start_inquiry() {
-  ctx_.broadcast(net::make_payload<msg::SyncInquiry>());
+  ctx_.broadcast(ctx_.make_payload<msg::SyncInquiry>());
   // A reply takes at most delta (inquiry) + delta (reply) to round-trip;
   // footnote 4 tightens the return leg to a known delta'.
   const sim::Duration window =
@@ -44,7 +44,7 @@ void SyncRegisterNode::finish_join() {
   ctx_.notify_active();
   // Answer inquiries that arrived while we were still joining.
   for (const sim::ProcessId j : pending_inquiries_) {
-    ctx_.send(j, net::make_payload<msg::SyncReply>(ts_, value_, has_value_));
+    ctx_.send(j, ctx_.make_payload<msg::SyncReply>(ts_, value_, has_value_));
   }
   pending_inquiries_.clear();
   schedule_refresh();
@@ -62,7 +62,7 @@ void SyncRegisterNode::schedule_refresh() {
   if (!config_.refresh_interval) return;
   ctx_.schedule_after(*config_.refresh_interval, [this] {
     if (active_ && has_value_) {
-      ctx_.broadcast(net::make_payload<msg::SyncRefresh>(ts_, value_));
+      ctx_.broadcast(ctx_.make_payload<msg::SyncRefresh>(ts_, value_));
     }
     schedule_refresh();
   });
@@ -84,7 +84,7 @@ void SyncRegisterNode::on_message(sim::ProcessId from, const net::Payload& paylo
     if (joining_ && m.has_value) apply(m.ts, m.value);
   } else if (type == msg::SyncInquiry::kTypeId) {
     if (active_) {
-      ctx_.send(from, net::make_payload<msg::SyncReply>(ts_, value_, has_value_));
+      ctx_.send(from, ctx_.make_payload<msg::SyncReply>(ts_, value_, has_value_));
     } else {
       pending_inquiries_.push_back(from);
     }
@@ -101,7 +101,7 @@ void SyncRegisterNode::read(const OpContext&, ReadCompletion done) {
 void SyncRegisterNode::write(const OpContext&, Value v, WriteCompletion done) {
   Timestamp ts{ts_.sn + 1, id()};
   apply(ts, v);
-  ctx_.broadcast(net::make_payload<msg::SyncWrite>(ts, v));
+  ctx_.broadcast(ctx_.make_payload<msg::SyncWrite>(ts, v));
   // In the synchronous model every copy lands within delta; the write
   // returns exactly then (Section 3.3). The completion waits in
   // pending_writes_ (not inside the timer) so a departure can resolve it.

@@ -35,6 +35,12 @@ enum class Timing {
 /// Membership dynamics: a static member set or the paper's constant churn.
 enum class ChurnKind { kNone, kConstant };
 
+/// How broadcasts fan out (see net/disseminator.h). kFlat is the paper's
+/// model (sender transmits to every recipient directly); kTree delegates
+/// over a deterministic BFS tree so a write costs the sender O(fanout)
+/// sends instead of O(n).
+enum class Dissemination { kFlat, kTree };
+
 /// Everything that determines a run. A (config, seed) pair fully determines
 /// the resulting MetricsReport, bit for bit (see docs/ARCHITECTURE.md,
 /// "Determinism contract").
@@ -51,6 +57,9 @@ struct ExperimentConfig {
   /// Fraction of n joining (and leaving) per tick — the paper's c.
   double churn_rate = 0.0;
   churn::LeavePolicy leave_policy = churn::LeavePolicy::kUniform;
+
+  Dissemination dissemination = Dissemination::kFlat;
+  std::size_t tree_fanout = 4;  ///< Branching factor when dissemination == kTree.
 
   sim::Time gst = 0;                ///< Stabilization time (ES timing only).
   sim::Duration pre_gst_max = 100;  ///< Max pre-GST delay (finiteness bound).

@@ -40,15 +40,39 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
 }
 
 void Network::broadcast(sim::ProcessId from, PayloadPtr payload) {
-  // A broadcast addresses the membership at send time. transmit() only
+  // A broadcast addresses the membership at send time. Dissemination only
   // schedules future deliveries (it never runs handlers synchronously), so
   // the membership cannot change under this walk and no recipient snapshot
   // is needed. Ascending id order matches the previous ordered-map fan-out,
   // which keeps the RNG draw sequence — and thus every run — bit-identical.
+  if (disseminator_ != nullptr) {
+    recipients_scratch_.clear();
+    for (const sim::ProcessId to : attached_ids_) {
+      if (to != from) recipients_scratch_.push_back(to);
+    }
+    disseminator_->disseminate(*this, from, recipients_scratch_, payload);
+    return;
+  }
   for (const sim::ProcessId to : attached_ids_) {
     if (to == from) continue;
     transmit(from, to, payload);
   }
+}
+
+Network::Hop Network::transmit_hop(sim::ProcessId logical_from,
+                                   sim::ProcessId hop_from, sim::ProcessId to,
+                                   const PayloadPtr& payload,
+                                   sim::Duration base_delay) {
+  ++stats_.sent;
+  const DelayModel::Verdict verdict = delays_->verdict(
+      sim_.now(), hop_from, to, *payload, loss_rate_, sim_.rng());
+  if (verdict.lost) {
+    ++stats_.dropped_loss;
+    return {true, 0};
+  }
+  const sim::Duration d = verdict.delay < 1 ? 1 : verdict.delay;
+  schedule_delivery(logical_from, to, payload, base_delay + d);
+  return {false, base_delay + d};
 }
 
 void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
@@ -60,6 +84,11 @@ void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payloa
     return;
   }
   const sim::Duration d = verdict.delay < 1 ? 1 : verdict.delay;
+  schedule_delivery(from, to, std::move(payload), d);
+}
+
+void Network::schedule_delivery(sim::ProcessId from, sim::ProcessId to,
+                                PayloadPtr payload, sim::Duration delay) {
   auto deliver = [this, from, to, payload = std::move(payload)] {
     if (to >= slots_.size() || !slots_[to].attached) {
       ++stats_.dropped_departed;  // receiver departed while the copy was in flight
@@ -79,7 +108,7 @@ void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payloa
   // it must never outgrow the scheduler's inline capture budget.
   static_assert(sizeof(deliver) <= sim::InlineTask::kInlineCapacity,
                 "delivery closure must stay inline — see sim/inline_task.h");
-  sim_.schedule_after(d, std::move(deliver));
+  sim_.schedule_after(delay, std::move(deliver));
 }
 
 std::map<std::string, std::uint64_t> Network::delivered_by_type() const {

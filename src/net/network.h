@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/delay_model.h"
+#include "net/disseminator.h"
 #include "net/payload.h"
 #include "sim/inline_function.h"
 #include "sim/simulation.h"
@@ -63,6 +64,31 @@ class Network {
   /// Sends one copy to every currently attached process except `from`.
   void broadcast(sim::ProcessId from, PayloadPtr payload);
 
+  /// Installs a fan-out strategy for broadcast(). nullptr (the default)
+  /// keeps the built-in direct loop — the historical, byte-identical path.
+  void set_disseminator(std::unique_ptr<Disseminator> d) {
+    disseminator_ = std::move(d);
+  }
+  [[nodiscard]] const Disseminator* disseminator() const {
+    return disseminator_.get();
+  }
+
+  /// One hop of a (possibly relayed) broadcast: the per-copy fate as the
+  /// disseminators see it.
+  struct Hop {
+    bool lost = false;
+    sim::Duration arrival_offset = 0;  ///< vs now(); meaningful when !lost
+  };
+
+  /// Disseminator hook: draws the verdict for the physical edge
+  /// (hop_from -> to) and, if the copy survives, schedules its delivery
+  /// `base_delay + hop delay` ticks from now with `logical_from` as the
+  /// sender the handler observes (relays are transparent transport;
+  /// protocol replies must reach the original broadcaster).
+  Hop transmit_hop(sim::ProcessId logical_from, sim::ProcessId hop_from,
+                   sim::ProcessId to, const PayloadPtr& payload,
+                   sim::Duration base_delay);
+
   /// Fraction of message copies silently lost (omission faults). Loss is
   /// decided at send time with the simulation RNG.
   void set_loss_rate(double rate) { loss_rate_ = rate; }
@@ -87,9 +113,13 @@ class Network {
   };
 
   void transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload);
+  void schedule_delivery(sim::ProcessId from, sim::ProcessId to,
+                         PayloadPtr payload, sim::Duration delay);
 
   sim::Simulation& sim_;
   std::unique_ptr<DelayModel> delays_;
+  std::unique_ptr<Disseminator> disseminator_;  // nullptr = direct fan-out
+  std::vector<sim::ProcessId> recipients_scratch_;
   std::vector<Slot> slots_;  // dense, indexed by ProcessId
   // Sorted live membership: broadcast fan-out walks this, so its cost
   // follows the active set, not the cumulative id space of a churning run.

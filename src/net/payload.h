@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "net/payload_type.h"
+#include "sim/arena.h"
 
 namespace dynreg::net {
 
@@ -32,6 +33,15 @@ using PayloadPtr = std::shared_ptr<const Payload>;
 template <typename T, typename... Args>
 PayloadPtr make_payload(Args&&... args) {
   return std::make_shared<T>(std::forward<Args>(args)...);
+}
+
+/// Arena-backed payload: object + shared_ptr control block live in one
+/// bump-allocated span, recycled an epoch after the last reference drops.
+/// Protocol nodes reach this through node::Context::make_payload.
+template <typename T, typename... Args>
+PayloadPtr make_payload_in(sim::Arena& arena, Args&&... args) {
+  return std::allocate_shared<T>(sim::ArenaAllocator<T>(arena),
+                                 std::forward<Args>(args)...);
 }
 
 }  // namespace dynreg::net

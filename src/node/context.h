@@ -44,7 +44,18 @@ class Context {
     net_.send(id_, to, std::move(payload));
   }
 
+  /// Builds a payload in the simulation's epoch arena (the hot-path
+  /// replacement for net::make_payload's per-message heap allocation).
+  template <typename T, typename... Args>
+  net::PayloadPtr make_payload(Args&&... args) {
+    return net::make_payload_in<T>(sim_.arena(), std::forward<Args>(args)...);
+  }
+
   void broadcast(net::PayloadPtr payload) { net_.broadcast(id_, std::move(payload)); }
+
+  /// The simulation's epoch arena, for pending-operation node containers
+  /// (see sim/arena.h for the lifetime contract).
+  [[nodiscard]] sim::Arena& arena() { return sim_.arena(); }
 
   /// Called by the node when its join protocol completes and it becomes an
   /// active replica (initial nodes call it on construction).

@@ -275,6 +275,8 @@ void encode_config(const harness::ExperimentConfig& cfg, std::vector<std::uint8_
   put_varint(out, cfg.workload.think_time);
   put_varint(out, cfg.workload.burst_on);
   put_varint(out, cfg.workload.burst_off);
+  put_u8(out, static_cast<std::uint8_t>(cfg.dissemination));
+  put_varint(out, cfg.tree_fanout);
 }
 
 harness::ExperimentConfig decode_config(const std::vector<std::uint8_t>& bytes,
@@ -306,6 +308,9 @@ harness::ExperimentConfig decode_config(const std::vector<std::uint8_t>& bytes,
   cfg.workload.think_time = static_cast<sim::Duration>(r.varint());
   cfg.workload.burst_on = static_cast<sim::Duration>(r.varint());
   cfg.workload.burst_off = static_cast<sim::Duration>(r.varint());
+  cfg.dissemination =
+      static_cast<harness::Dissemination>(enum_u8(r, 1, "dissemination"));
+  cfg.tree_fanout = static_cast<std::size_t>(r.varint());
   pos = r.pos();
   return cfg;
 }

@@ -36,7 +36,10 @@
 namespace dynreg::replay {
 
 inline constexpr std::uint32_t kTraceMagic = 0x52545244u;  // "DRTR"
-inline constexpr std::uint32_t kTraceVersion = 1u;
+// Version 2 appended the dissemination mode + tree fanout to the embedded
+// config. Older files are rejected (no binary traces are kept as fixtures;
+// recordings are artifacts of the session that made them).
+inline constexpr std::uint32_t kTraceVersion = 2u;
 
 /// Malformed trace bytes (truncation, bad magic, version from the future,
 /// corrupted body). The message names the offending offset or field.

@@ -1,0 +1,156 @@
+#include "sim/arena.h"
+
+#include <cstring>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DYNREG_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DYNREG_ASAN_ACTIVE 1
+#endif
+#endif
+
+#ifdef DYNREG_ASAN_ACTIVE
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace dynreg::sim {
+namespace {
+
+constexpr std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+void poison_span(void* p, std::size_t n) {
+#ifdef DYNREG_ASAN_ACTIVE
+  ASAN_POISON_MEMORY_REGION(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+void unpoison_span(void* p, std::size_t n) {
+#ifdef DYNREG_ASAN_ACTIVE
+  ASAN_UNPOISON_MEMORY_REGION(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {}
+
+Arena::~Arena() {
+  // ASan forbids returning poisoned memory to the system allocator; clear
+  // every region before the unique_ptrs release the buffers.
+  for (auto& c : chunks_) unpoison_span(c->bytes.get(), c->capacity);
+}
+
+Arena::Chunk* Arena::new_chunk(std::size_t capacity) {
+  auto owned = std::make_unique<Chunk>();
+  owned->bytes = std::make_unique<unsigned char[]>(capacity);
+  owned->capacity = capacity;
+  Chunk* c = owned.get();
+  chunks_.push_back(std::move(owned));
+  ++chunks_created_;
+  bytes_reserved_ += capacity;
+  poison_span(c->bytes.get(), c->capacity);
+  return c;
+}
+
+void Arena::retire(Chunk* c) {
+  c->retire_epoch = epoch_;
+  retired_.push_back(c);
+}
+
+void Arena::open_chunk_for(std::size_t size, std::size_t align) {
+  if (open_ != nullptr) {
+    open_->open = false;
+    if (open_->live == 0) retire(open_);
+    open_ = nullptr;
+  }
+  const std::size_t needed = sizeof(Header) + size + align;
+  if (needed <= chunk_bytes_) {
+    if (!free_.empty()) {
+      open_ = free_.back();
+      free_.pop_back();
+      open_->used = 0;
+    } else {
+      open_ = new_chunk(chunk_bytes_);
+    }
+    open_->open = true;
+    return;
+  }
+  // Oversize request: dedicated chunk. It becomes the bump target like any
+  // other; the next normal-size allocation will not fit and seals it.
+  open_ = new_chunk(needed);
+  open_->open = true;
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  if (align < alignof(Header)) align = alignof(Header);
+  if (open_ == nullptr ||
+      align_up(open_->used + sizeof(Header), align) + size > open_->capacity) {
+    open_chunk_for(size, align);
+  }
+  Chunk* c = open_;
+  const std::size_t p_off = align_up(c->used + sizeof(Header), align);
+  c->used = p_off + size;
+  ++c->live;
+  ++live_;
+  unsigned char* p = c->bytes.get() + p_off;
+  unpoison_span(p - sizeof(Header), sizeof(Header) + size);
+  auto* h = reinterpret_cast<Header*>(p - sizeof(Header));
+  h->chunk = c;
+  h->size = size;
+  return p;
+}
+
+void Arena::deallocate(void* p) noexcept {
+  auto* h = reinterpret_cast<Header*>(static_cast<unsigned char*>(p) -
+                                      sizeof(Header));
+  Chunk* c = h->chunk;
+  // Under ASan the span turns inaccessible immediately — the epoch delay
+  // protects reuse, not reads of dead objects. Plain builds keep the bytes
+  // intact until reclaim so same-tick danglers read stale-but-stable data.
+  poison_span(h, sizeof(Header) + h->size);
+  --c->live;
+  --live_;
+  if (c->live == 0 && !c->open) retire(c);
+}
+
+void Arena::advance_epoch() {
+  ++epoch_;
+  if (retired_.empty()) return;
+  std::size_t kept = 0;
+  for (Chunk* c : retired_) {
+    if (c->retire_epoch < epoch_) {
+#ifdef DYNREG_ASAN_ACTIVE
+      poison_span(c->bytes.get(), c->capacity);
+#else
+      std::memset(c->bytes.get(), kPoisonByte, c->capacity);
+#endif
+      c->used = 0;
+      free_.push_back(c);
+      ++chunks_recycled_;
+    } else {
+      retired_[kept++] = c;
+    }
+  }
+  retired_.resize(kept);
+}
+
+bool Arena::address_is_poisoned(const void* p) {
+#ifdef DYNREG_ASAN_ACTIVE
+  return __asan_address_is_poisoned(p) != 0;
+#else
+  (void)p;
+  return false;
+#endif
+}
+
+}  // namespace dynreg::sim

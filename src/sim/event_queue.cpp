@@ -1,12 +1,33 @@
 #include "sim/event_queue.h"
 
+#include <cstdlib>
+#include <new>
 #include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#define DYNREG_SLAB_MMAP 1
+#endif
 
 namespace dynreg::sim {
 
 namespace {
 
 constexpr std::size_t kArity = 4;
+
+// How many slots ahead of the consume cursor to prefetch inside a bucket.
+// Large buckets hold slots ~1 slab stride apart in pop order (tens of KB),
+// so without prefetch every dispatch eats a full demand miss; looking a few
+// slots ahead keeps that many misses in flight instead of one.
+constexpr std::uint32_t kBucketPrefetch = 12;
+
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
 
 inline std::uint32_t ctz64(std::uint64_t x) {
 #if defined(__GNUC__) || defined(__clang__)
@@ -21,7 +42,104 @@ inline std::uint32_t ctz64(std::uint64_t x) {
 #endif
 }
 
+constexpr std::size_t kSlabBytes = 2 * 1024 * 1024;  // == kSlabSize tasks
+
+#ifdef DYNREG_SLAB_MMAP
+void* map_slab_region() {
+  // Over-map by one huge page so a 2 MiB-aligned span can be handed back;
+  // transparent huge pages only back 2 MiB-aligned virtual ranges.
+  const std::size_t over = kSlabBytes + kSlabBytes;
+  void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) throw std::bad_alloc{};
+  const auto addr = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t aligned = (addr + kSlabBytes - 1) & ~(kSlabBytes - 1);
+  if (aligned != addr) ::munmap(raw, aligned - addr);
+  const std::uintptr_t tail = aligned + kSlabBytes;
+  if (addr + over != tail) {
+    ::munmap(reinterpret_cast<void*>(tail), addr + over - tail);
+  }
+  void* p = reinterpret_cast<void*>(aligned);
+  ::madvise(p, kSlabBytes, MADV_HUGEPAGE);  // advisory; harmless if ignored
+  return p;
+}
+
+void unmap_slab_region(void* p) { ::munmap(p, kSlabBytes); }
+#else
+void* map_slab_region() {
+  return ::operator new(kSlabBytes, std::align_val_t{64});
+}
+
+void unmap_slab_region(void* p) {
+  ::operator delete(p, std::align_val_t{64});
+}
+#endif
+
+// Thread-local cache of retired slab regions: a fresh EventQueue (one per
+// Simulation; benchmarks and sweeps build thousands) reuses an
+// already-faulted huge-page region instead of paying fault + zero-fill for
+// 2 MiB per slab. Capped so an occasional huge simulation does not pin its
+// high-water mark forever; owning the vector through a destructor returns
+// the regions when the (pooled job) thread exits.
+struct SlabCache {
+  static constexpr std::size_t kMaxRegions = 32;  // 64 MiB per thread
+  std::vector<void*> regions;
+  ~SlabCache() {
+    for (void* p : regions) unmap_slab_region(p);
+  }
+};
+
+SlabCache& slab_cache() {
+  thread_local SlabCache cache;
+  return cache;
+}
+
 }  // namespace
+
+EventQueue::TaskPool::Slab::Slab() {
+  static_assert(std::size_t{kSlabSize} * sizeof(InlineTask) == kSlabBytes,
+                "slab region holds exactly kSlabSize one-line tasks");
+  auto& cache = slab_cache().regions;
+  void* p;
+  if (!cache.empty()) {
+    p = cache.back();
+    cache.pop_back();
+  } else {
+    p = map_slab_region();
+  }
+  tasks = static_cast<InlineTask*>(p);
+}
+
+EventQueue::TaskPool::Slab::~Slab() {
+  // Every constructed task in the region is empty by now (the queue drains
+  // itself first), so their no-op destructors are elided and the raw region
+  // is recycled wholesale.
+  auto& cache = slab_cache().regions;
+  if (cache.size() < SlabCache::kMaxRegions) {
+    cache.push_back(tasks);
+  } else {
+    unmap_slab_region(tasks);
+  }
+}
+
+EventQueue::~EventQueue() {
+  while (size_ != 0) {
+    const auto [time, slot] = take_top();
+    (void)time;
+    pool_.recycle(slot);
+  }
+}
+
+std::uint32_t EventQueue::alloc_block() {
+  if (!free_blocks_.empty()) {
+    const std::uint32_t b = free_blocks_.back();
+    free_blocks_.pop_back();
+    blocks_[b].next = kNil;
+    return b;
+  }
+  blocks_.emplace_back();
+  return static_cast<std::uint32_t>(blocks_.size() - 1);
+}
 
 void EventQueue::insert(Time time, std::uint32_t slot) {
   if (size_ == 0) {
@@ -34,12 +152,17 @@ void EventQueue::insert(Time time, std::uint32_t slot) {
     const auto b = static_cast<std::uint32_t>(time & (kWindow - 1));
     Bucket& bucket = ring_[b];
     if (bucket.head == kNil) {
-      bucket.head = bucket.tail = slot;
+      const std::uint32_t blk = alloc_block();  // may grow blocks_
+      bucket.head = bucket.tail = blk;
+      bucket.take = bucket.fill = 0;
       set_bit(b);
-    } else {
-      next_[bucket.tail] = slot;
-      bucket.tail = slot;
+    } else if (bucket.fill == kBlockSlots) {
+      const std::uint32_t blk = alloc_block();  // may grow blocks_
+      blocks_[bucket.tail].next = blk;
+      bucket.tail = blk;
+      bucket.fill = 0;
     }
+    blocks_[bucket.tail].slots[bucket.fill++] = slot;
     ++ring_count_;
   } else {
     // Out of window: far future, or in the past of the wheel base (the
@@ -73,11 +196,44 @@ std::pair<Time, std::uint32_t> EventQueue::take_top() {
     if (far_.empty() || ring_time < far_next_time()) {
       const auto b = static_cast<std::uint32_t>(ring_time & (kWindow - 1));
       Bucket& bucket = ring_[b];
-      const std::uint32_t slot = bucket.head;
-      bucket.head = next_[slot];
-      if (bucket.head == kNil) {
-        bucket.tail = kNil;
-        clear_bit(b);
+      SlotBlock& blk = blocks_[bucket.head];
+      const std::uint32_t slot = blk.slots[bucket.take++];
+      const std::uint32_t head_count =
+          bucket.head == bucket.tail ? bucket.fill : kBlockSlots;
+      if (bucket.take == head_count) {
+        const std::uint32_t drained = bucket.head;
+        if (bucket.head == bucket.tail) {
+          bucket.head = bucket.tail = kNil;  // bucket empty; refills next lap
+          bucket.take = bucket.fill = 0;
+          clear_bit(b);
+        } else {
+          bucket.head = blk.next;
+          bucket.take = 0;
+        }
+        free_blocks_.push_back(drained);
+      } else {
+        // Keep kBucketPrefetch task fetches in flight. Indices
+        // [take+K, head_count) are reached within this block, indices
+        // [0, K) of the successor via the spill branch, and index K — in
+        // neither window, since `take` starts at 1 — by the one-off fetch
+        // on block entry, which also requests the successor's line early
+        // so the spill reads rarely stall.
+        if (bucket.take == 1) {
+          if (bucket.head != bucket.tail) prefetch_ro(&blocks_[blk.next]);
+          if (kBucketPrefetch < head_count) {
+            prefetch_ro(pool_.task_addr(blk.slots[kBucketPrefetch]));
+          }
+        }
+        const std::uint32_t ahead = bucket.take + kBucketPrefetch;
+        if (ahead < head_count) {
+          prefetch_ro(pool_.task_addr(blk.slots[ahead]));
+        } else if (bucket.head != bucket.tail) {
+          const SlotBlock& nb = blocks_[blk.next];
+          const std::uint32_t ncount =
+              blk.next == bucket.tail ? bucket.fill : kBlockSlots;
+          const std::uint32_t nidx = ahead - head_count;
+          if (nidx < ncount) prefetch_ro(pool_.task_addr(nb.slots[nidx]));
+        }
       }
       --ring_count_;
       --size_;
@@ -152,6 +308,9 @@ EventQueue::FarEntry EventQueue::far_take_top() {
       if (!(h[min_child].key < last.key)) break;
       h[pos] = h[min_child];
       pos = min_child;
+      // The next iteration compares the children of min_child; start their
+      // lines toward the core while this iteration's stores retire.
+      if (min_child * kArity + 1 < n) prefetch_ro(&h[min_child * kArity + 1]);
     }
     h[pos] = last;
   }

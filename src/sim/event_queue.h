@@ -6,10 +6,16 @@
 // Hot-path layout (see docs/PERFORMANCE.md). Two tiers, one total order:
 //
 //  - Near tier: a timing-wheel ring of kWindow per-tick FIFO buckets
-//    covering [base_time, base_time + kWindow). Push appends to an intrusive
-//    list, pop follows a two-level bitmap to the next non-empty tick —
-//    both O(1), no comparisons at all. Virtually every event a simulation
-//    schedules (delays are small, clocks move forward) lands here.
+//    covering [base_time, base_time + kWindow). Each bucket is an unrolled
+//    list of cache-line-sized slot blocks with a consume cursor: push
+//    appends, pop reads at the cursor and software-prefetches the tasks a
+//    few slots ahead, and a two-level bitmap finds the next non-empty tick —
+//    all O(1), no comparisons at all. (The previous per-slot intrusive list
+//    serialized two dependent cache misses per pop; at 1e6 queued events
+//    that pointer chase was the whole throughput cliff. Blocks preserve the
+//    exact append order while letting prefetches run ahead.) Virtually every
+//    event a simulation schedules (delays are small, clocks move forward)
+//    lands here.
 //  - Far tier: an implicit 4-ary min-heap of small POD entries keyed on a
 //    packed (time, seq) 128-bit key, so sift comparisons are single
 //    wide-integer compares. It holds the rare events outside the ring
@@ -17,20 +23,23 @@
 //
 // The callables themselves never move through either structure: they live
 // in InlineTask slots (no per-event heap allocation for captures up to
-// InlineTask::kInlineCapacity) inside a free-list slab pool with stable
-// addresses, referenced by 32-bit slot index.
+// InlineTask::kInlineCapacity) inside a free-list slab pool with stable,
+// 64-byte-aligned addresses (one cache line per task), referenced by 32-bit
+// slot index.
 //
 // FIFO correctness across tiers: a far-tier event at time t is always older
 // than any ring event at t (a push lands in the ring only while t is inside
 // the window, and the window never moves backwards past a live ring time),
-// so on equal times the far tier pops first; within a bucket the intrusive
-// list is FIFO; within the far tier the seq half of the key is FIFO. This
-// reproduces the old (time, seq) priority-queue order bit for bit.
+// so on equal times the far tier pops first; within a bucket the slot array
+// is consumed in append order, which is FIFO; within the far tier the seq
+// half of the key is FIFO. This reproduces the old (time, seq)
+// priority-queue order bit for bit.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "sim/inline_task.h"
@@ -76,15 +85,21 @@ class EventQueue {
   /// rule. Must be a power of two.
   static constexpr std::uint32_t kWindow = 2048;
 
-  EventQueue() { ring_.fill(Bucket{}); }
+  EventQueue() = default;
+
+  /// Destroys any still-pending callables by draining the queue. Task-slab
+  /// storage is raw and recycled wholesale (see TaskPool::Slab), so live
+  /// captures must be destroyed individually here, not by the pool.
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Accepts any `void()` callable; captures up to InlineTask::kInlineCapacity
   /// bytes are stored without allocating.
   template <typename F>
   void push(Time time, F&& fn) {
     const std::uint32_t slot = pool_.acquire(std::forward<F>(fn));
-    if (slot == next_.size()) next_.push_back(kNil);
-    else next_[slot] = kNil;
     insert(time, slot);
     ++size_;
   }
@@ -112,9 +127,27 @@ class EventQueue {
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
   static constexpr std::uint32_t kWords = kWindow / 64;
 
+  // One tick's events: an unrolled list of cache-line blocks from the shared
+  // block pool, consumed in append order. Unlike a per-bucket std::vector
+  // this never mallocs on the push path (blocks recycle through free_blocks_)
+  // and unlike the old per-slot intrusive list it costs one pointer chase per
+  // kBlockSlots pops instead of per pop, with the slots in between laid out
+  // sequentially for prefetching.
+  struct alignas(64) SlotBlock {
+    SlotBlock() {}  // NOLINT(modernize-use-equals-default) — leaves `slots`
+                    // uninitialized on purpose: alloc_block() sets `next`,
+                    // and only slots[0..fill) are ever read.
+    std::array<std::uint32_t, 15> slots;
+    std::uint32_t next;  // block index in blocks_
+  };
+  static_assert(sizeof(SlotBlock) == 64, "one cache line per block");
+  static constexpr std::uint32_t kBlockSlots = 15;
+
   struct Bucket {
-    std::uint32_t head = kNil;
-    std::uint32_t tail = kNil;
+    std::uint32_t head = kNil;  // block index being consumed
+    std::uint32_t tail = kNil;  // block index being filled
+    std::uint32_t take = 0;     // consume index within head block
+    std::uint32_t fill = 0;     // append index within tail block
   };
 
   struct FarEntry {
@@ -124,22 +157,32 @@ class EventQueue {
 
   // Fixed-capacity slabs of recycled InlineTask slots. Slab granularity
   // keeps slot addresses stable (no mass relocation on growth) and the free
-  // list makes steady-state push/pop allocation-free.
+  // list makes steady-state push/pop allocation-free. Each slab is one
+  // 2 MiB-aligned region (64-byte lines for the tasks fall out of that), and
+  // on Linux it is madvise(MADV_HUGEPAGE)d: popping a large bucket reads
+  // tasks roughly one slab stride apart, and with 4 KiB pages every one of
+  // those reads costs a TLB walk on this access pattern — the walks, not the
+  // line fetches, were the 1e6-event throughput cliff. One huge page per
+  // slab makes the software prefetches actually overlap.
   class TaskPool {
    public:
     template <typename F>
     std::uint32_t acquire(F&& fn) {
-      std::uint32_t slot;
       if (!free_.empty()) {
-        slot = free_.back();
+        const std::uint32_t slot = free_.back();
         free_.pop_back();
-      } else {
-        if (size_ == slabs_.size() * kSlabSize) {
-          slabs_.push_back(std::make_unique<InlineTask[]>(kSlabSize));
-        }
-        slot = size_++;
+        task(slot).assign(std::forward<F>(fn));
+        return slot;
       }
-      task(slot).assign(std::forward<F>(fn));
+      if (size_ == slabs_.size() * kSlabSize) {
+        slabs_.push_back(std::make_unique<Slab>());
+      }
+      const std::uint32_t slot = size_++;
+      // First use of this slot: begin the task's lifetime lazily. Slab
+      // storage is raw — constructing 32k tasks eagerly would touch the
+      // whole 2 MiB slab up front, which dwarfs small simulations.
+      auto* t = new (&slabs_[slot / kSlabSize]->tasks[slot % kSlabSize]) InlineTask();
+      t->assign(std::forward<F>(fn));
       return slot;
     }
 
@@ -152,7 +195,12 @@ class EventQueue {
 
     /// Stable reference into the slab (valid across pool growth).
     InlineTask& task(std::uint32_t slot) {
-      return slabs_[slot / kSlabSize][slot % kSlabSize];
+      return slabs_[slot / kSlabSize]->tasks[slot % kSlabSize];
+    }
+
+    /// Address for software prefetch only (never dereferenced by callers).
+    [[nodiscard]] const void* task_addr(std::uint32_t slot) const {
+      return &slabs_[slot / kSlabSize]->tasks[slot % kSlabSize];
     }
 
     /// Destroys the callable and recycles the slot.
@@ -162,13 +210,27 @@ class EventQueue {
     }
 
    private:
-    static constexpr std::uint32_t kSlabSize = 256;
+    static constexpr std::uint32_t kSlabSize = 32768;  // 2 MiB of tasks
 
-    std::vector<std::unique_ptr<InlineTask[]>> slabs_;
+    // One slab of RAW task storage. Tasks are constructed lazily in
+    // acquire() (first use of each slot) and the queue drains itself on
+    // destruction, so neither slab construction nor slab destruction ever
+    // touches the 2 MiB region; retired regions go to a small thread-local
+    // cache and fresh simulations reuse already-faulted pages.
+    struct Slab {
+      Slab();
+      ~Slab();
+      Slab(const Slab&) = delete;
+      Slab& operator=(const Slab&) = delete;
+      InlineTask* tasks = nullptr;
+    };
+
+    std::vector<std::unique_ptr<Slab>> slabs_;
     std::vector<std::uint32_t> free_;
     std::uint32_t size_ = 0;
   };
 
+  std::uint32_t alloc_block();
   void insert(Time time, std::uint32_t slot);
   /// Detaches the earliest event and returns (time, slot), advancing the
   /// wheel base. The caller consumes the slot.
@@ -197,7 +259,9 @@ class EventQueue {
   FarEntry far_take_top();
   [[nodiscard]] Time far_next_time() const { return event_key_time(far_.front().key); }
 
-  std::array<Bucket, kWindow> ring_;
+  std::array<Bucket, kWindow> ring_{};
+  std::vector<SlotBlock> blocks_;        // shared bucket-block pool
+  std::vector<std::uint32_t> free_blocks_;
   std::array<std::uint64_t, kWords> bits_{};
   std::uint64_t summary_ = 0;
   Time base_time_ = 0;       // ring covers [base_time_, base_time_ + kWindow)
@@ -207,7 +271,6 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;  // FIFO stamp for far-tier entries
 
   TaskPool pool_;
-  std::vector<std::uint32_t> next_;  // intrusive bucket links, indexed by slot
   std::size_t size_ = 0;
 };
 

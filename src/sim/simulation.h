@@ -17,6 +17,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/arena.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
@@ -28,6 +29,11 @@ class Simulation {
 
   [[nodiscard]] Time now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  /// Epoch-reclaimed arena for payloads and pending-op records. step()
+  /// advances its epoch whenever the simulated clock advances, so storage
+  /// freed at tick T is never recycled before the clock moves past T.
+  Arena& arena() { return arena_; }
 
   /// Whether this build carries the event-stream determinism auditor.
   static constexpr bool audit_enabled() {
@@ -97,6 +103,9 @@ class Simulation {
 
  private:
   Time now_ = 0;
+  // The arena outlives the queue: queued tasks may own arena-backed payloads
+  // whose destruction (at queue teardown) deallocates into the arena.
+  Arena arena_;
   EventQueue queue_;
   Rng rng_;
 #ifdef DYNREG_AUDIT

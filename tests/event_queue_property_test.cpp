@@ -134,6 +134,96 @@ TEST(EventQueueProperty, MatchesReferenceAcrossFarTier) {
   run_random_trace(/*seed=*/4, /*max_jump=*/4 * EventQueue::kWindow, /*use_run_top=*/true);
 }
 
+// The 1e6-entry regression pin for the timing-wheel scaling work: a
+// million-event adversarial spread (hot duplicate ticks, dense near-window
+// clusters, far-tier jumps, and a mid-stream drain/refill that lands new
+// events across the survivors' times). The naive per-pop reference above is
+// O(n) per operation, so at this size the model is a sorted snapshot
+// instead: pop order must equal the (time, push-seq) sort exactly. This
+// walks ~31 task slabs, so it also covers the lazy slab construction and
+// drain-on-destroy paths at the scale the 8.6M items/s cliff appeared.
+TEST(EventQueueProperty, MillionEntryAdversarialSpreadMatchesSortedModel) {
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    int id;
+  };
+  const auto by_time_seq = [](const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  };
+
+  std::mt19937 rng(2026);
+  EventQueue queue;
+  std::vector<int> popped;
+  popped.reserve(1'000'000);
+  std::uint64_t seq = 0;
+  int next_id = 0;
+  Time now = 0;
+
+  const auto adversarial_time = [&](Time base) -> Time {
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+        return base + rng() % 16;  // hot duplicate ticks
+      case 2:
+      case 3:
+        return base + rng() % 64;  // dense near cluster
+      case 4:
+        return base > 32 ? base - 1 - rng() % 32 : base;  // wheel's past
+      case 5:
+      case 6:
+        return base + rng() % EventQueue::kWindow;  // spread across the wheel
+      default:
+        return base + EventQueue::kWindow + rng() % (8 * EventQueue::kWindow);
+    }
+  };
+  const auto push_n = [&](std::size_t n, std::vector<Entry>& into) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time at = adversarial_time(now);
+      const int id = next_id++;
+      queue.push(at, [&popped, id] { popped.push_back(id); });
+      into.push_back({at, seq++, id});
+    }
+  };
+  const auto pop_n = [&](std::size_t n, const std::vector<Entry>& sorted,
+                         std::size_t offset) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 10000 == 0) {
+        ASSERT_EQ(queue.next_time(), sorted[offset + i].time);
+      }
+      now = std::max(now, sorted[offset + i].time);
+      queue.run_top();
+    }
+  };
+
+  std::vector<Entry> pending;
+  pending.reserve(1'000'000);
+  push_n(600'000, pending);
+  ASSERT_EQ(queue.size(), 600'000u);
+  std::sort(pending.begin(), pending.end(), by_time_seq);
+  pop_n(300'000, pending, 0);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < 300'000; ++i) {
+    if (popped[i] != pending[i].id) ++mismatches;
+  }
+  ASSERT_EQ(mismatches, 0u) << "pop order diverged in the first drain";
+
+  // Refill while 300k survivors are still queued: the new events' times
+  // interleave with the survivors', and ties must resolve by push order.
+  pending.erase(pending.begin(), pending.begin() + 300'000);
+  push_n(400'000, pending);
+  ASSERT_EQ(queue.size(), 700'000u);
+  std::sort(pending.begin(), pending.end(), by_time_seq);
+  pop_n(pending.size(), pending, 0);
+
+  ASSERT_TRUE(queue.empty());
+  ASSERT_EQ(popped.size(), 1'000'000u);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (popped[300'000 + i] != pending[i].id) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u) << "pop order diverged after the refill";
+}
+
 TEST(EventQueueProperty, ManyDuplicateTimesStayFifo) {
   EventQueue queue;
   ReferenceModel model;

@@ -9,12 +9,12 @@
 namespace dynreg::bench {
 namespace {
 
-TEST(Registry, AllFourteenExperimentsRegistered) {
+TEST(Registry, AllSixteenExperimentsRegistered) {
   const auto all = ExperimentRegistry::instance().list();
-  ASSERT_EQ(all.size(), 14u);
-  // Ordered by paper-experiment id.
+  ASSERT_EQ(all.size(), 16u);
+  // Ordered by paper-experiment id (numerically: E2 before E10).
   EXPECT_EQ(all.front()->id, "E1");
-  EXPECT_EQ(all.back()->id, "E14");
+  EXPECT_EQ(all.back()->id, "E16");
   for (const Experiment* e : all) {
     EXPECT_FALSE(e->name.empty());
     EXPECT_FALSE(e->paper_ref.empty());

@@ -5,10 +5,12 @@
 // `dynreg_exp record`/`replay` CLI (and the CI replay gate) stand on.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
 #include "emit.h"
+#include "harness/experiment.h"
 #include "registry.h"
 #include "replay/session.h"
 #include "replay/trace_io.h"
@@ -24,6 +26,7 @@ struct Recorded {
 Recorded record(const Experiment& e, std::size_t jobs) {
   RunOptions opts;
   opts.seeds = 1;  // one replica per point keeps the full sweep affordable
+  opts.max_n = 100;  // caps the scaling experiments' (E15/E16) n grids too
   opts.jobs = jobs;
   replay::Session& session = replay::Session::instance();
   session.begin_record();
@@ -40,6 +43,7 @@ Recorded record(const Experiment& e, std::size_t jobs) {
 std::string replay_from(const Experiment& e, replay::TraceFile file, std::size_t jobs) {
   RunOptions opts;
   opts.seeds = 1;
+  opts.max_n = 100;
   opts.jobs = jobs;
   replay::Session& session = replay::Session::instance();
   session.begin_replay(std::move(file.traces));
@@ -79,6 +83,45 @@ TEST(ReplayRoundTrip, ReplayIsJobsIndependent) {
   const std::string pooled = replay_from(*e, replay::decode(bytes), /*jobs=*/8);
   EXPECT_EQ(serial, rec.json);
   EXPECT_EQ(pooled, rec.json);
+}
+
+TEST(ReplayRoundTrip, ScalingExperimentsReplayJobsIndependently) {
+  // The scaling sweeps (E15 runs a tree-dissemination mode; E16 runs heavy
+  // churn grids) must round-trip through the v2 trace format — which now
+  // carries dissemination mode + fanout in the config key — and replay
+  // byte-identically at any worker count. Grids capped via max_n (the
+  // record/replay helpers) to keep the suite affordable.
+  for (const char* name : {"scaling_messages", "scaling_churn"}) {
+    SCOPED_TRACE(name);
+    const Experiment* e = ExperimentRegistry::instance().find(name);
+    ASSERT_NE(e, nullptr);
+    Recorded rec = record(*e, /*jobs=*/1);
+    EXPECT_FALSE(rec.file.traces.empty());
+
+    const auto bytes = replay::encode(rec.file);
+    const std::string serial = replay_from(*e, replay::decode(bytes), /*jobs=*/1);
+    const std::string pooled = replay_from(*e, replay::decode(bytes), /*jobs=*/8);
+    EXPECT_EQ(serial, rec.json);
+    EXPECT_EQ(pooled, rec.json);
+  }
+}
+
+TEST(ReplayRoundTrip, TreeDisseminationTracesCarryTheirMode) {
+  // A recorded tree-mode run must not be conflated with a flat-mode run of
+  // the same parameters: the trace key includes the dissemination fields,
+  // so the E15 scenario (a tree cell) round-trips to a tree replay.
+  const Experiment* e = ExperimentRegistry::instance().find("scaling_messages");
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->scenario);
+  const harness::ExperimentConfig cfg = e->scenario();
+  EXPECT_EQ(cfg.dissemination, harness::Dissemination::kTree);
+  const std::uint64_t key = replay::fingerprint(cfg);
+  harness::ExperimentConfig flat = cfg;
+  flat.dissemination = harness::Dissemination::kFlat;
+  EXPECT_NE(replay::fingerprint(flat), key);
+  harness::ExperimentConfig fanout8 = cfg;
+  fanout8.tree_fanout = 8;
+  EXPECT_NE(replay::fingerprint(fanout8), key);
 }
 
 TEST(ReplayRoundTrip, ScriptedScenarioExperimentsEnrollInTheSession) {
