@@ -4,7 +4,8 @@
 //       Tabulates every registered experiment: name, paper claim, grid.
 //   dynreg_exp run <name>... [--seeds=N] [--jobs=N] [--format=F] [--out=DIR]
 //              [--workload=W] [--clients=N] [--think=N] [--burst=ON/OFF]
-//              [--max-n=N]
+//              [--max-n=N] [--op-deadline=N] [--retry-attempts=N]
+//              [--retry-backoff=[exp:]N]
 //   dynreg_exp run --all [options]
 //       Runs experiments. --seeds sets replicas per sweep point (0/omitted:
 //       experiment default); --jobs caps parallel replicas (0: one per
@@ -14,7 +15,12 @@
 //       of every run_experiment-based experiment: --workload is open
 //       (default), closed, or bursty; --clients and --think configure the
 //       closed-loop engine; --burst=ON/OFF sets the bursty on/off phase
-//       lengths in ticks. Scripted constructions (E1, E2, E5) ignore them.
+//       lengths in ticks. --op-deadline arms a per-operation timeout;
+//       --retry-attempts budgets re-issues of a timed-out attempt;
+//       --retry-backoff=N waits a fixed N ticks between attempts and
+//       --retry-backoff=exp:N backs off exponentially (N * 2^k, capped,
+//       plus deterministic jitter) — see docs/FAULTS.md. Scripted
+//       constructions (E1, E2, E5) ignore all workload overrides.
 //   dynreg_exp record <name> --out=FILE [--seeds=N] [--jobs=N]
 //       Runs one experiment with every schedule decision captured, writes
 //       the trace set to FILE, and prints the run's JSON to stdout.
@@ -36,6 +42,7 @@
 // Aggregated results are byte-identical across --jobs values: parallelism
 // only changes wall-clock time, never output (see docs/ARCHITECTURE.md).
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -67,6 +74,8 @@ int usage(std::ostream& os, int code) {
         "                  [--format=table|json|csv] [--out=DIR]\n"
         "                  [--workload=open|closed|bursty] [--clients=N]\n"
         "                  [--think=N] [--burst=ON/OFF] [--max-n=N]\n"
+        "                  [--op-deadline=N] [--retry-attempts=N]\n"
+        "                  [--retry-backoff=[exp:]N]\n"
         "       dynreg_exp record <name> --out=FILE [--seeds=N] [--jobs=N]\n"
         "       dynreg_exp replay FILE [--jobs=N]\n"
         "       dynreg_exp search <name|FILE> [--budget=N] [--seed=N] [--jobs=N]\n"
@@ -174,6 +183,37 @@ int cmd_run(const std::vector<std::string>& args) {
       }
       opts.workload.burst_on = static_cast<sim::Duration>(*on);
       opts.workload.burst_off = static_cast<sim::Duration>(*off);
+    } else if (auto vd = flag_value(arg, "--op-deadline")) {
+      const auto n = parse_count(*vd);
+      if (!n) {
+        std::cerr << "bad --op-deadline value: " << *vd << "\n";
+        return 2;
+      }
+      opts.workload.op_deadline = static_cast<sim::Duration>(*n);
+    } else if (auto va = flag_value(arg, "--retry-attempts")) {
+      const auto n = parse_count(*va);
+      if (!n || *n == 0) {
+        std::cerr << "bad --retry-attempts value: " << *va << "\n";
+        return 2;
+      }
+      opts.workload.retry_attempts = static_cast<std::uint32_t>(*n);
+    } else if (auto vr = flag_value(arg, "--retry-backoff")) {
+      // "--retry-backoff=10" = fixed 10-tick gap between attempts;
+      // "--retry-backoff=exp:10" = 10 * 2^k with deterministic jitter.
+      std::string spec = *vr;
+      bool exponential = false;
+      if (spec.rfind("exp:", 0) == 0) {
+        exponential = true;
+        spec = spec.substr(4);
+      }
+      const auto n = parse_count(spec);
+      if (!n) {
+        std::cerr << "bad --retry-backoff value: " << *vr
+                  << " (expected N or exp:N ticks)\n";
+        return 2;
+      }
+      opts.workload.retry_backoff = static_cast<sim::Duration>(*n);
+      opts.workload.retry_exponential = exponential;
     } else if (auto vm = flag_value(arg, "--max-n")) {
       const auto n = parse_count(*vm);
       if (!n || *n == 0) {

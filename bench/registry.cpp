@@ -56,6 +56,10 @@ void apply_workload(const RunOptions& opts, harness::ExperimentConfig& cfg) {
   if (w.think) cfg.workload.think_time = *w.think;
   if (w.burst_on) cfg.workload.burst_on = *w.burst_on;
   if (w.burst_off) cfg.workload.burst_off = *w.burst_off;
+  if (w.op_deadline) cfg.workload.op_deadline = *w.op_deadline;
+  if (w.retry_attempts) cfg.workload.retry_max_attempts = *w.retry_attempts;
+  if (w.retry_backoff) cfg.workload.retry_backoff = *w.retry_backoff;
+  if (w.retry_exponential) cfg.workload.retry_exponential = *w.retry_exponential;
 }
 
 ExperimentResult run_resolved(const Experiment& e, RunOptions opts) {

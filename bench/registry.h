@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -36,6 +37,13 @@ struct WorkloadOverrides {
   std::optional<sim::Duration> think;
   std::optional<sim::Duration> burst_on;
   std::optional<sim::Duration> burst_off;
+  /// Per-op client policy (--op-deadline / --retry-backoff): a deadline in
+  /// ticks, the retry budget, and the backoff between attempts (fixed or
+  /// exponential with deterministic jitter — see client::RetryPolicy).
+  std::optional<sim::Duration> op_deadline;
+  std::optional<std::uint32_t> retry_attempts;
+  std::optional<sim::Duration> retry_backoff;
+  std::optional<bool> retry_exponential;
 };
 
 /// CLI-controlled execution knobs handed to every experiment run function.

@@ -5,9 +5,35 @@
 
 namespace dynreg::client {
 
+namespace {
+
+/// splitmix64 finalizer — the repo's standard mixing step, duplicated here
+/// (rather than pulling replay/trace.h into the client) because the client
+/// sits *below* the replay layer and must not depend on it.
+std::uint64_t mix64(std::uint64_t v) {
+  std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Client::Client(sim::Simulation& sim, churn::System& system,
                consistency::History& history, sim::Time horizon)
     : sim_(sim), system_(system), history_(history), horizon_(horizon) {}
+
+sim::Duration Client::retry_delay(const OpRecord& rec) const {
+  const RetryPolicy& retry = rec.options.retry;
+  if (!retry.exponential || retry.backoff == 0) return retry.backoff;
+  const std::uint32_t exp = std::min<std::uint32_t>(rec.attempts - 1, 5);
+  const sim::Duration base = retry.backoff << exp;
+  // Jitter from a pure hash of (seed, op, attempt): deterministic per run,
+  // different across ops/attempts, zero Rng draws (replay-transparent).
+  const std::uint64_t h =
+      mix64(mix64(sim_.seed() ^ (rec.id * 0x9e3779b97f4a7c15ULL)) ^ rec.attempts);
+  return base + static_cast<sim::Duration>(h % retry.backoff);
+}
 
 RegisterNode* Client::node(sim::ProcessId id) {
   return dynamic_cast<RegisterNode*>(system_.find(id));
@@ -84,13 +110,15 @@ void Client::start_attempt(OpRecord& rec) {
   const sim::Time now = sim_.now();
   const OpContext ctx{rec.id, now};
   if (rec.type == OpType::kRead) {
-    ++stats_.reads_issued;
+    // Issued counts operations, not dispatches: a retry re-enters here but
+    // is accounted under stats_.retries, so completion rates stay per-op.
+    if (rec.attempts == 1) ++stats_.reads_issued;
     rec.history_op = history_.begin_read(rec.target, now);
     reg->read(ctx, [this, id = rec.id, attempt = rec.attempts](OpOutcome o, Value v) {
       on_node_completion(id, attempt, o, v);
     });
   } else {
-    ++stats_.writes_issued;
+    if (rec.attempts == 1) ++stats_.writes_issued;
     rec.history_op = history_.begin_write(rec.target, now, rec.value);
     reg->write(ctx, rec.value, [this, id = rec.id, attempt = rec.attempts](OpOutcome o) {
       on_node_completion(id, attempt, o, kBottom);
@@ -167,7 +195,7 @@ void Client::finish_attempt(OpRecord& rec, OpOutcome outcome, Value v) {
       rec.station = OpRecord::kNoStation;
       release_station(st);
     }
-    sim_.schedule_after(rec.options.retry.backoff,
+    sim_.schedule_after(retry_delay(rec),
                         [this, id = rec.id, attempt = rec.attempts + 1] {
                           retry_attempt(id, attempt);
                         });

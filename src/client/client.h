@@ -46,8 +46,16 @@ namespace dynreg::client {
 struct RetryPolicy {
   /// Total attempts allowed, first issue included; 1 means no retry.
   std::uint32_t max_attempts = 1;
-  /// Delay between a failed attempt and its re-issue.
+  /// Delay between a failed attempt and its re-issue (the base delay under
+  /// exponential backoff).
   sim::Duration backoff = 0;
+  /// Exponential backoff with deterministic jitter: the k-th retry waits
+  /// backoff * 2^min(k-1, 5) plus a jitter in [0, backoff) hashed purely
+  /// from (run seed, op id, attempt). The jitter consumes no Rng draw, so
+  /// it is invisible to the record/replay streams and retries of different
+  /// operations still decorrelate (no retry convoys after a partition
+  /// heals). false keeps the historical fixed backoff byte-identically.
+  bool exponential = false;
 };
 
 struct OpOptions {
@@ -209,6 +217,9 @@ class Client {
     std::deque<OpId> queue;
   };
 
+  /// Delay before the next retry of `rec` (its attempts count has already
+  /// been charged for the failed attempt).
+  [[nodiscard]] sim::Duration retry_delay(const OpRecord& rec) const;
   OpRecord& new_record(OpType type, sim::ProcessId target, OpOptions options,
                        OpHook done);
   void enqueue_session(OpRecord& rec);

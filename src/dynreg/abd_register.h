@@ -34,6 +34,14 @@ class AbdRegisterNode final : public RegisterNode {
   void write(const OpContext& op, Value v, WriteCompletion done) override;
   Value local_value() const override { return value_; }
   bool is_active() const override { return true; }  // no join protocol
+  /// ABD's replica set is fixed at bootstrap: a crash-recovered process
+  /// restarts under a fresh id and is a client, not a replica, whatever it
+  /// salvaged from disk — so it reports a crash image (replicas only) but
+  /// ignores restore(). Exactly the Section 1 motivation: static-membership
+  /// quorums cannot readmit recovered state (docs/FAULTS.md).
+  [[nodiscard]] DurableImage crash_image() const override {
+    return replica_ ? DurableImage{value_, ts_, true} : DurableImage{};
+  }
 
  private:
   struct PendingRead {

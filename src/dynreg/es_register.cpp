@@ -43,13 +43,13 @@ void EsRegisterNode::start_join() {
   join_pending_ = true;
   join_id_ = static_cast<std::uint64_t>(id()) << 32;
   ctx_.broadcast(ctx_.make_payload<msg::EsJoin>(join_id_));
-  ctx_.schedule_after(config_.retransmit_interval, [this] { retransmit_join(); });
+  ctx_.schedule_after(retransmit_after(join_resends_), [this] { retransmit_join(); });
 }
 
 void EsRegisterNode::retransmit_join() {
   if (!join_pending_) return;
   ctx_.broadcast(ctx_.make_payload<msg::EsJoin>(join_id_));
-  ctx_.schedule_after(config_.retransmit_interval, [this] { retransmit_join(); });
+  ctx_.schedule_after(retransmit_after(++join_resends_), [this] { retransmit_join(); });
 }
 
 // --- read -------------------------------------------------------------------
@@ -66,7 +66,7 @@ void EsRegisterNode::read(const OpContext&, ReadCompletion done) {
     r.has_value = true;
   }
   ctx_.broadcast(ctx_.make_payload<msg::EsRead>(rid));
-  ctx_.schedule_after(config_.retransmit_interval, [this, rid] { retransmit_read(rid); });
+  ctx_.schedule_after(retransmit_after(0), [this, rid] { retransmit_read(rid); });
   if (r.repliers.size() >= majority()) finish_read(rid);  // n == 1 corner
 }
 
@@ -74,7 +74,8 @@ void EsRegisterNode::retransmit_read(std::uint64_t rid) {
   const auto it = reads_.find(rid);
   if (it == reads_.end() || it->second.in_writeback) return;
   ctx_.broadcast(ctx_.make_payload<msg::EsRead>(rid));
-  ctx_.schedule_after(config_.retransmit_interval, [this, rid] { retransmit_read(rid); });
+  ctx_.schedule_after(retransmit_after(++it->second.resends),
+                      [this, rid] { retransmit_read(rid); });
 }
 
 void EsRegisterNode::finish_read(std::uint64_t rid) {
@@ -102,7 +103,7 @@ void EsRegisterNode::start_writeback(std::uint64_t rid) {
   w.rid = rid;
   w.ackers.insert(id());
   ctx_.broadcast(ctx_.make_payload<msg::EsWrite>(wid, w.ts, w.value));
-  ctx_.schedule_after(config_.retransmit_interval, [this, wid] { retransmit_write(wid); });
+  ctx_.schedule_after(retransmit_after(0), [this, wid] { retransmit_write(wid); });
   maybe_finish_write(wid);  // n == 1 corner: the self-vote is the quorum
 }
 
@@ -121,7 +122,7 @@ void EsRegisterNode::write(const OpContext&, Value v, WriteCompletion done) {
   w.value = v;
   w.ackers.insert(id());
   ctx_.broadcast(ctx_.make_payload<msg::EsWrite>(wid, ts, v));
-  ctx_.schedule_after(config_.retransmit_interval, [this, wid] { retransmit_write(wid); });
+  ctx_.schedule_after(retransmit_after(0), [this, wid] { retransmit_write(wid); });
   maybe_finish_write(wid);  // n == 1 corner: the self-vote is the quorum
 }
 
@@ -158,7 +159,8 @@ void EsRegisterNode::retransmit_write(std::uint64_t wid) {
   const auto it = writes_.find(wid);
   if (it == writes_.end()) return;
   ctx_.broadcast(ctx_.make_payload<msg::EsWrite>(wid, it->second.ts, it->second.value));
-  ctx_.schedule_after(config_.retransmit_interval, [this, wid] { retransmit_write(wid); });
+  ctx_.schedule_after(retransmit_after(++it->second.resends),
+                      [this, wid] { retransmit_write(wid); });
 }
 
 // --- message handling -------------------------------------------------------
@@ -169,6 +171,7 @@ void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload
   if (type == msg::EsWrite::kTypeId) {
     // Every process — active or joining — stores newer values and acks.
     const auto& m = static_cast<const msg::EsWrite&>(payload);
+    if (rejects_envelope(m.ts, true)) return;  // forged-timestamp guard: no store, no ack
     apply(m.ts, m.value);
     ctx_.send(from, ctx_.make_payload<msg::EsAck>(m.wid));
   } else if (type == msg::EsAck::kTypeId) {
@@ -184,6 +187,7 @@ void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload
     }
   } else if (type == msg::EsReply::kTypeId) {
     const auto& m = static_cast<const msg::EsReply&>(payload);
+    if (rejects_envelope(m.ts, m.has_value)) return;  // malformed/out-of-envelope reply
     const auto it = reads_.find(m.rid);
     if (it == reads_.end() || it->second.in_writeback) return;
     PendingRead& r = it->second;
@@ -202,6 +206,7 @@ void EsRegisterNode::on_message(sim::ProcessId from, const net::Payload& payload
     }
   } else if (type == msg::EsJoinReply::kTypeId) {
     const auto& m = static_cast<const msg::EsJoinReply&>(payload);
+    if (rejects_envelope(m.ts, m.has_value)) return;  // malformed/out-of-envelope reply
     if (!join_pending_ || m.jid != join_id_) return;
     join_repliers_.insert(from);
     if (m.has_value && (!join_has_value_ || join_best_ts_ < m.ts)) {

@@ -31,6 +31,23 @@ struct EsConfig {
   bool atomic_reads = false;
   /// Value held by the bootstrap members.
   Value initial_value = 0;
+  /// Defensive hardening (docs/FAULTS.md): bounded exponential retransmit
+  /// backoff — every rebroadcast of the same unfinished operation doubles
+  /// the interval, capped at 8x the base. Off (the default) keeps the
+  /// historical fixed cadence byte-identically; on, a partitioned minority
+  /// stops paying a full-rate rebroadcast storm while it waits for heal.
+  bool retransmit_backoff = false;
+  /// Defensive hardening: reply-validation guard — drop inbound
+  /// value-carrying messages (WRITE / REPLY / JOIN_REPLY) that are
+  /// structurally inconsistent (no value claimed but a nonzero timestamp)
+  /// or whose sequence number lies more than ts_envelope beyond everything
+  /// this process has seen (a forged far-future timestamp would otherwise
+  /// poison the monotone merge permanently). Off by default.
+  bool validate_replies = false;
+  /// Plausibility envelope for validate_replies, in sequence numbers. Benign
+  /// lag (a reader behind a healed partition) stays far inside it; a forged
+  /// timestamp fabricated to dominate all future writes lands outside.
+  std::uint64_t ts_envelope = 64;
 };
 
 class EsRegisterNode final : public RegisterNode {
@@ -43,6 +60,15 @@ class EsRegisterNode final : public RegisterNode {
   void write(const OpContext& op, Value v, WriteCompletion done) override;
   Value local_value() const override { return value_; }
   bool is_active() const override { return active_; }
+  [[nodiscard]] DurableImage crash_image() const override {
+    return DurableImage{value_, ts_, has_value_};
+  }
+  /// Apply-as-floor: the image merges through the monotone apply() and the
+  /// restarted process still runs the join protocol, so a stale disk image
+  /// can never mask a newer value the join quorum knows.
+  void restore(const DurableImage& image) override {
+    if (image.has_value) apply(image.ts, image.value);
+  }
 
  private:
   // Pending-operation state lives in the simulation's epoch arena: every
@@ -66,6 +92,7 @@ class EsRegisterNode final : public RegisterNode {
     Value best_value = kBottom;
     bool has_value = false;
     bool in_writeback = false;
+    std::uint32_t resends = 0;  // drives the bounded retransmit backoff
   };
   struct PendingWrite {
     explicit PendingWrite(sim::Arena& arena)
@@ -76,9 +103,22 @@ class EsRegisterNode final : public RegisterNode {
     ArenaIdSet ackers;
     bool is_read_writeback = false;
     std::uint64_t rid = 0;  // owning read, when is_read_writeback
+    std::uint32_t resends = 0;  // drives the bounded retransmit backoff
   };
 
   [[nodiscard]] std::size_t majority() const { return config_.n / 2 + 1; }
+  /// Interval before the (resends+1)-th rebroadcast: the fixed cadence, or
+  /// base << min(resends, 3) under the hardened exponential backoff.
+  [[nodiscard]] sim::Duration retransmit_after(std::uint32_t resends) const {
+    if (!config_.retransmit_backoff) return config_.retransmit_interval;
+    return config_.retransmit_interval << (resends > 3 ? 3 : resends);
+  }
+  /// validate_replies guard; true = drop the message unprocessed.
+  [[nodiscard]] bool rejects_envelope(const Timestamp& ts, bool msg_has_value) const {
+    if (!config_.validate_replies) return false;
+    if (!msg_has_value) return ts.sn > 0;  // no value claimed, yet a timestamp
+    return ts.sn > max_seen_sn_ + config_.ts_envelope;
+  }
   void apply(const Timestamp& ts, Value v);
   void start_join();
   void retransmit_join();
@@ -104,6 +144,7 @@ class EsRegisterNode final : public RegisterNode {
   ArenaOpMap<PendingRead> reads_;
   ArenaOpMap<PendingWrite> writes_;
   ArenaIdSet join_repliers_;
+  std::uint32_t join_resends_ = 0;
   bool join_pending_ = false;
   Timestamp join_best_ts_;
   Value join_best_value_ = kBottom;

@@ -7,6 +7,15 @@
 
 namespace dynreg {
 
+/// What survives a crash when the fault engine restarts a process with
+/// durable register state (fault::RestartState::kDurable): the local copy
+/// and its timestamp, as they were at the instant of the crash.
+struct DurableImage {
+  Value value = kBottom;
+  Timestamp ts;
+  bool has_value = false;
+};
+
 /// Common interface of the register protocols (sync, ES, ABD). Operations
 /// are asynchronous: read/write return immediately and signal through the
 /// supplied move-only completion, which runs inside the simulation (same
@@ -39,6 +48,18 @@ class RegisterNode : public node::Node {
   /// Whether this process's join has completed (bootstrap members are
   /// active from construction).
   virtual bool is_active() const = 0;
+
+  /// Snapshot of the durable register state at crash time, for the fault
+  /// engine's crash-recovery path. Default: nothing survives (protocols
+  /// without a durable story restart volatile).
+  [[nodiscard]] virtual DurableImage crash_image() const { return {}; }
+
+  /// Re-applies a recovered durable image on the restarted process. The
+  /// contract is apply-as-floor: the image is merged with timestamp
+  /// monotonicity (never adopted blindly) and never short-circuits the join
+  /// protocol — a stale disk image must not mask a newer value the join
+  /// would have found (docs/FAULTS.md). Default: ignored.
+  virtual void restore(const DurableImage& image) { (void)image; }
 };
 
 }  // namespace dynreg

@@ -50,6 +50,15 @@ class SyncRegisterNode final : public RegisterNode {
   void write(const OpContext& op, Value v, WriteCompletion done) override;
   Value local_value() const override { return value_; }
   bool is_active() const override { return active_; }
+  [[nodiscard]] DurableImage crash_image() const override {
+    return DurableImage{value_, ts_, has_value_};
+  }
+  /// Apply-as-floor (docs/FAULTS.md): the image merges through the monotone
+  /// apply() while the restarted process still runs the full delta-wait join,
+  /// so the recovered copy can only add information, never mask the join's.
+  void restore(const DurableImage& image) override {
+    if (image.has_value) apply(image.ts, image.value);
+  }
 
  private:
   void start_inquiry();

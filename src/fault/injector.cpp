@@ -1,0 +1,306 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "dynreg/messages.h"
+#include "dynreg/register_node.h"
+#include "net/payload.h"
+
+namespace dynreg::fault {
+namespace {
+
+/// [0, 1) from a pure 64-bit hash word — same arithmetic as Rng::uniform01,
+/// but over fold64 output, so side/membership tests cost no decision draw.
+double hash01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// The (ts, value) view of a value-carrying payload. `carries` is false for
+/// types the adversary leaves alone (acks, queries, inquiries) and for
+/// replies that do not claim a value — transforming those is either a no-op
+/// or would require fabricating protocol ids, which the delivery-time seam
+/// deliberately does not do.
+struct ValueView {
+  Timestamp ts;
+  Value value = kBottom;
+  bool carries = false;
+};
+
+ValueView view_of(const net::Payload& p) {
+  const net::PayloadTypeId type = p.type_id();
+  if (type == msg::SyncWrite::kTypeId) {
+    const auto& m = static_cast<const msg::SyncWrite&>(p);
+    return {m.ts, m.value, true};
+  }
+  if (type == msg::SyncReply::kTypeId) {
+    const auto& m = static_cast<const msg::SyncReply&>(p);
+    return {m.ts, m.value, m.has_value};
+  }
+  if (type == msg::SyncRefresh::kTypeId) {
+    const auto& m = static_cast<const msg::SyncRefresh&>(p);
+    return {m.ts, m.value, true};
+  }
+  if (type == msg::EsWrite::kTypeId) {
+    const auto& m = static_cast<const msg::EsWrite&>(p);
+    return {m.ts, m.value, true};
+  }
+  if (type == msg::EsReply::kTypeId) {
+    const auto& m = static_cast<const msg::EsReply&>(p);
+    return {m.ts, m.value, m.has_value};
+  }
+  if (type == msg::EsJoinReply::kTypeId) {
+    const auto& m = static_cast<const msg::EsJoinReply&>(p);
+    return {m.ts, m.value, m.has_value};
+  }
+  if (type == msg::AbdReadReply::kTypeId) {
+    const auto& m = static_cast<const msg::AbdReadReply&>(p);
+    return {m.ts, m.value, true};
+  }
+  if (type == msg::AbdWriteback::kTypeId) {
+    const auto& m = static_cast<const msg::AbdWriteback&>(p);
+    return {m.ts, m.value, true};
+  }
+  if (type == msg::AbdUpdate::kTypeId) {
+    const auto& m = static_cast<const msg::AbdUpdate&>(p);
+    return {m.ts, m.value, true};
+  }
+  return {};
+}
+
+/// Rebuilds a payload of the same type and protocol ids with (ts, value)
+/// replaced — the only fields the adversary rewrites.
+net::PayloadPtr rebuild(sim::Arena& arena, const net::Payload& p,
+                        const Timestamp& ts, Value value) {
+  const net::PayloadTypeId type = p.type_id();
+  if (type == msg::SyncWrite::kTypeId) {
+    return net::make_payload_in<msg::SyncWrite>(arena, ts, value);
+  }
+  if (type == msg::SyncReply::kTypeId) {
+    return net::make_payload_in<msg::SyncReply>(arena, ts, value, true);
+  }
+  if (type == msg::SyncRefresh::kTypeId) {
+    return net::make_payload_in<msg::SyncRefresh>(arena, ts, value);
+  }
+  if (type == msg::EsWrite::kTypeId) {
+    const auto& m = static_cast<const msg::EsWrite&>(p);
+    return net::make_payload_in<msg::EsWrite>(arena, m.wid, ts, value);
+  }
+  if (type == msg::EsReply::kTypeId) {
+    const auto& m = static_cast<const msg::EsReply&>(p);
+    return net::make_payload_in<msg::EsReply>(arena, m.rid, ts, value, true);
+  }
+  if (type == msg::EsJoinReply::kTypeId) {
+    const auto& m = static_cast<const msg::EsJoinReply&>(p);
+    return net::make_payload_in<msg::EsJoinReply>(arena, m.jid, ts, value, true);
+  }
+  if (type == msg::AbdReadReply::kTypeId) {
+    const auto& m = static_cast<const msg::AbdReadReply&>(p);
+    return net::make_payload_in<msg::AbdReadReply>(arena, m.rid, ts, value);
+  }
+  if (type == msg::AbdWriteback::kTypeId) {
+    const auto& m = static_cast<const msg::AbdWriteback&>(p);
+    return net::make_payload_in<msg::AbdWriteback>(arena, m.rid, ts, value);
+  }
+  if (type == msg::AbdUpdate::kTypeId) {
+    const auto& m = static_cast<const msg::AbdUpdate&>(p);
+    return net::make_payload_in<msg::AbdUpdate>(arena, m.wid, ts, value);
+  }
+  return nullptr;  // unreachable: caller checked view_of().carries
+}
+
+}  // namespace
+
+Injector::Injector(sim::Simulation& sim, churn::System& system,
+                   net::Network& net, Plan plan, DecisionSource& decisions,
+                   std::vector<sim::ProcessId> exempt)
+    : sim_(sim),
+      system_(system),
+      net_(net),
+      plan_(plan),
+      decisions_(decisions),
+      exempt_(std::move(exempt)) {}
+
+void Injector::start() {
+  net_.set_fault_hook(this);
+  if (plan_.byzantine_enabled()) {
+    // One salt fixes the faulty set for the whole run: membership is a pure
+    // hash of (salt, id), so even processes spawned later land on a
+    // deterministic honesty assignment.
+    byz_salt_ = decisions_.draw(sim_.now());
+  }
+  if (plan_.crash_enabled() || plan_.partition_enabled()) {
+    sim_.schedule_after(plan_.tick, [this] { tick(); });
+  }
+}
+
+void Injector::tick() {
+  const sim::Time now = sim_.now();
+  // Decision-draw order within a tick is fixed (partition, then crash):
+  // whether each draw happens depends only on the Plan and on deterministic
+  // run state, so recording and replay stay positionally aligned.
+  if (plan_.partition_enabled() && !partition_active_) {
+    const double p = plan_.partition.rate * static_cast<double>(plan_.tick);
+    if (decisions_.bernoulli(now, p)) {
+      partition_salt_ = decisions_.draw(now);
+      partition_active_ = true;
+      ++stats_.partitions;
+      sim_.schedule_after(plan_.partition.duration, [this] {
+        partition_active_ = false;
+        ++stats_.heals;
+      });
+    }
+  }
+  if (plan_.crash_enabled()) {
+    crash_credit_ += plan_.crash.rate * static_cast<double>(plan_.tick);
+    while (crash_credit_ >= 1.0) {
+      crash_credit_ -= 1.0;
+      crash_one(now);
+    }
+  }
+  sim_.schedule_after(plan_.tick, [this] { tick(); });
+}
+
+void Injector::crash_one(sim::Time now) {
+  // Victims come from the active membership minus the exempt set (the
+  // designated writers, matching the churn system's own exemption). An empty
+  // candidate set skips the event without drawing — membership is
+  // deterministic, so record and replay skip identically.
+  const std::vector<sim::ProcessId>& active = system_.active_ids();
+  candidates_.clear();
+  for (const sim::ProcessId id : active) {
+    if (std::find(exempt_.begin(), exempt_.end(), id) == exempt_.end()) {
+      candidates_.push_back(id);
+    }
+  }
+  if (candidates_.empty()) return;
+
+  const std::uint64_t idx =
+      decisions_.uniform_int(now, 0, candidates_.size() - 1);
+  const sim::ProcessId victim = candidates_[idx];
+  const bool recover = decisions_.bernoulli(now, plan_.crash.recover_fraction);
+
+  DurableImage image;  // empty = volatile restart
+  if (recover && plan_.crash.restart == RestartState::kDurable) {
+    if (const auto* node = dynamic_cast<RegisterNode*>(system_.find(victim))) {
+      image = node->crash_image();
+    }
+  }
+
+  // Direct leave()/spawn() calls bypass the ChurnObserver by design: injected
+  // crashes re-occur from the replayed fault stream, so recording them into
+  // the churn stream as well would double them on replay.
+  system_.leave(victim);
+  ++stats_.crashes;
+
+  if (recover) {
+    sim_.schedule_after(plan_.crash.recovery_delay, [this, image] {
+      const sim::ProcessId id = system_.spawn();
+      ++stats_.recoveries;
+      if (image.has_value) {
+        if (auto* node = dynamic_cast<RegisterNode*>(system_.find(id))) {
+          node->restore(image);
+        }
+      }
+    });
+  }
+}
+
+bool Injector::on_minority_side(sim::ProcessId id) const {
+  // Exempt processes (the designated writers) always land on the majority
+  // side: a partition models replicas losing connectivity, not the writer
+  // itself vanishing — the paper pins the writer inside the system the same
+  // way. Without this, a cut that hashes the writer into the minority would
+  // silence its broadcasts and conflate a partition fault with writer loss.
+  if (std::find(exempt_.begin(), exempt_.end(), id) != exempt_.end()) {
+    return false;
+  }
+  return hash01(replay::fold64(partition_salt_, id)) < plan_.partition.fraction;
+}
+
+bool Injector::is_byzantine(sim::ProcessId id) const {
+  if (std::find(exempt_.begin(), exempt_.end(), id) != exempt_.end()) {
+    return false;  // designated writers stay honest; the adversary is inside
+  }
+  return hash01(replay::fold64(byz_salt_, id)) < plan_.byzantine.fraction;
+}
+
+bool Injector::link_cut(sim::Time /*now*/, sim::ProcessId from,
+                        sim::ProcessId to) {
+  if (!partition_active_) return false;
+  const bool a = on_minority_side(from);
+  const bool b = on_minority_side(to);
+  // Asymmetric = lossy uplink: only minority->majority traffic is cut, so
+  // the majority's broadcasts still reach everyone but replies from the
+  // minority are lost. Symmetric cuts drop both directions.
+  if (plan_.partition.asymmetric) return a && !b;
+  return a != b;
+}
+
+net::PayloadPtr Injector::transform(sim::Time now, sim::ProcessId from,
+                                    sim::ProcessId to,
+                                    const net::PayloadPtr& payload) {
+  if (!plan_.byzantine_enabled()) return nullptr;
+  const ValueView v = view_of(*payload);
+  if (!v.carries) return nullptr;
+  // Stash the earliest (ts, value) the wire carried — fuel for the
+  // stale-replay transform. A pure observation: no decision draw.
+  if (!have_stale_) {
+    stale_ts_ = v.ts;
+    stale_value_ = v.value;
+    have_stale_ = true;
+  }
+  if (!is_byzantine(from)) return nullptr;
+  if (!decisions_.bernoulli(now, plan_.byzantine.transform_rate)) {
+    return nullptr;
+  }
+  return transform_copy(decisions_.draw(now), from, to, *payload);
+}
+
+net::PayloadPtr Injector::transform_copy(std::uint64_t word,
+                                         sim::ProcessId from,
+                                         sim::ProcessId to,
+                                         const net::Payload& payload) {
+  enum Kind : std::uint8_t { kEquivocate, kStale, kForge, kCorrupt };
+  Kind kinds[4];
+  std::size_t count = 0;
+  if (plan_.byzantine.equivocate) kinds[count++] = kEquivocate;
+  if (plan_.byzantine.stale_replay) kinds[count++] = kStale;
+  if (plan_.byzantine.forge) kinds[count++] = kForge;
+  if (plan_.byzantine.corrupt) kinds[count++] = kCorrupt;
+  // byzantine_enabled() guaranteed count > 0. The low bits pick the kind;
+  // the rest of the word parameterizes it.
+  Kind kind = kinds[word % count];
+  const std::uint64_t d = word >> 3;
+  if (kind == kStale && !have_stale_) kind = kCorrupt;  // no stash yet
+
+  const ValueView v = view_of(payload);
+  Timestamp ts = v.ts;
+  Value value = v.value;
+  switch (kind) {
+    case kEquivocate:
+      // Same timestamp, recipient-dependent value: different recipients of
+      // one broadcast observe different "copies" of the same write.
+      value = v.value + 1 + static_cast<Value>(to % 7);
+      break;
+    case kStale:
+      // Re-send the oldest observation the wire carried, as if the sender
+      // had never learned anything since.
+      ts = stale_ts_;
+      value = stale_value_;
+      break;
+    case kForge:
+      // Fabricated far-future timestamp claiming authorship: sn jumps far
+      // enough (>= +100) that the ES ts_envelope guard (default 64) can
+      // tell it from benign lag, which stays close to the frontier.
+      ts = Timestamp{v.ts.sn + 100 + (d % 924), from};
+      value = v.value ^ 0x5a5a5a5;
+      break;
+    case kCorrupt:
+      // Bit corruption of the value alone; the timestamp stays plausible.
+      value = v.value ^ static_cast<Value>(1 + (d % 255));
+      break;
+  }
+  return rebuild(sim_.arena(), payload, ts, value);
+}
+
+}  // namespace dynreg::fault

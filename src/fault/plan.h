@@ -1,0 +1,99 @@
+// FaultPlan: the declarative description of a deterministic fault campaign.
+//
+// A Plan is plain configuration — which fault classes are armed and how hot
+// they run. It deliberately contains no behavior and no references so it can
+// live inside harness::ExperimentConfig, travel through the canonical config
+// encoding (trace format v3), and be compared/fingerprinted like any other
+// experiment knob. The engine that executes a Plan is fault::Injector; the
+// taxonomy and the safety/liveness envelopes each class probes are documented
+// in docs/FAULTS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+
+namespace dynreg::fault {
+
+/// What a crash-recovered process finds when it restarts.
+enum class RestartState : std::uint8_t {
+  /// Register state was volatile: the process restarts empty and must
+  /// re-acquire a value through the protocol's join path.
+  kVolatile,
+  /// Register state was durable: the crash image (value, timestamp) survives
+  /// and is re-applied as a *floor* on restart — the process still joins, so
+  /// a stale disk image can never mask a newer value (see docs/FAULTS.md).
+  kDurable,
+};
+
+/// Crash-stop and crash-recovery faults, injected through churn::System.
+struct CrashPlan {
+  /// Expected crashes per tick across the whole system (0 = disabled).
+  double rate = 0.0;
+  /// Probability a crash is crash-recovery (the process restarts) rather
+  /// than crash-stop (it is gone for good).
+  double recover_fraction = 1.0;
+  /// Ticks between the crash and the restart of a recovering process.
+  sim::Duration recovery_delay = 20;
+  /// Whether the restarted process recovers its register state.
+  RestartState restart = RestartState::kDurable;
+};
+
+/// Link-level partitions: a cut between two deterministic sides of the
+/// membership, healing after a fixed duration. At most one partition is
+/// active at a time; events that fire while one is active are skipped.
+struct PartitionPlan {
+  /// Expected partition events per tick (0 = disabled).
+  double rate = 0.0;
+  /// Ticks until the cut heals.
+  sim::Duration duration = 100;
+  /// Fraction of processes hashed onto the minority side. Side assignment
+  /// is a pure hash of (per-event salt, process id), so processes that join
+  /// mid-partition land on a deterministic side too.
+  double fraction = 0.3;
+  /// Symmetric cuts drop both directions. Asymmetric cuts drop only
+  /// minority->majority traffic (a lossy uplink): broadcasts still reach
+  /// everyone, replies from the minority are lost.
+  bool asymmetric = false;
+};
+
+/// Byzantine message transforms, applied at delivery time to copies sent by
+/// a deterministically chosen set of faulty processes.
+struct ByzantinePlan {
+  /// Fraction of processes behaving Byzantine (membership by pure hash of a
+  /// once-drawn salt, so the faulty set is stable for the whole run).
+  double fraction = 0.0;
+  /// Per delivered copy from a faulty sender: probability the copy is
+  /// transformed (0 = disabled).
+  double transform_rate = 0.0;
+  /// Which transforms the adversary may pick from (uniformly among the
+  /// enabled ones). See fault::Injector for the exact semantics.
+  bool equivocate = true;    ///< different values to different recipients
+  bool stale_replay = true;  ///< re-send an earlier (ts, value) observation
+  bool forge = true;         ///< fabricate a far-future timestamp + value
+  bool corrupt = true;       ///< flip value bits, keep the timestamp
+};
+
+/// The full fault campaign for one run. Default-constructed = no faults
+/// (every run_experiment call without an explicit plan behaves exactly as
+/// before the fault layer existed).
+struct Plan {
+  CrashPlan crash;
+  PartitionPlan partition;
+  ByzantinePlan byzantine;
+  /// Cadence of the injector's decision loop (crash/partition scheduling).
+  sim::Duration tick = 1;
+
+  [[nodiscard]] bool crash_enabled() const { return crash.rate > 0.0; }
+  [[nodiscard]] bool partition_enabled() const { return partition.rate > 0.0; }
+  [[nodiscard]] bool byzantine_enabled() const {
+    return byzantine.fraction > 0.0 && byzantine.transform_rate > 0.0 &&
+           (byzantine.equivocate || byzantine.stale_replay || byzantine.forge ||
+            byzantine.corrupt);
+  }
+  [[nodiscard]] bool enabled() const {
+    return crash_enabled() || partition_enabled() || byzantine_enabled();
+  }
+};
+
+}  // namespace dynreg::fault

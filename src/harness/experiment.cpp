@@ -12,6 +12,8 @@
 #include "dynreg/es_register.h"
 #include "dynreg/register_node.h"
 #include "dynreg/sync_register.h"
+#include "fault/decision.h"
+#include "fault/injector.h"
 #include "harness/workload.h"
 #include "net/delay_model.h"
 #include "net/network.h"
@@ -52,8 +54,29 @@ churn::System::NodeFactory build_factory(const ExperimentConfig& cfg) {
     case Protocol::kEventuallySync: {
       EsConfig ec;
       ec.n = cfg.n;
-      ec.retransmit_interval = std::max<sim::Duration>(1, 2 * cfg.delta);
+      // Retransmit cadence scales with the dissemination depth: a flat
+      // broadcast completes a round trip within ~2*delta, but over a fanout
+      // tree a copy crosses ceil(log_f(n)) hops each way, so the fixed
+      // 2*delta timer fired several extra rebroadcast rounds while the
+      // deeper quorum was still forming (the E15 message-count gap —
+      // docs/PERFORMANCE.md). Flat keeps the historical value byte-for-byte
+      // (depth 1 => (1+1)*delta == 2*delta).
+      std::size_t depth = 1;
+      if (cfg.dissemination == Dissemination::kTree && cfg.n > 1) {
+        const std::size_t fanout = std::max<std::size_t>(1, cfg.tree_fanout);
+        std::size_t reach = 1;  // processes within `depth` hops of the root
+        std::size_t level = 1;
+        while (reach < cfg.n) {
+          level = fanout == 1 ? 1 : level * fanout;
+          reach += level;
+          if (reach < cfg.n) ++depth;
+        }
+      }
+      ec.retransmit_interval =
+          std::max<sim::Duration>(1, static_cast<sim::Duration>(depth + 1) * cfg.delta);
       ec.atomic_reads = cfg.es_atomic_reads;
+      ec.retransmit_backoff = cfg.es_retransmit_backoff;
+      ec.validate_replies = cfg.es_validate_replies;
       ec.initial_value = kInitialValue;
       return [ec](sim::ProcessId id, node::Context& ctx, bool initial) {
         return std::make_unique<EsRegisterNode>(id, ctx, ec, initial);
@@ -181,7 +204,32 @@ MetricsReport run_experiment(const ExperimentConfig& cfg, const replay::RunHooks
       workload::Env{sim, system, client, cfg.workload, cfg.duration,
                     designated_writers(cfg)});
 
+  // The fault engine, when the config arms one. Decisions flow through the
+  // source that matches the run mode: live draws from the run's Rng, a
+  // recording wrapper that captures each word into the trace's fault stream
+  // (format v3), or positional replay of a recorded stream — during replay
+  // nothing here touches the Rng, like every other replayed component.
+  std::unique_ptr<fault::DecisionSource> fault_decisions;
+  std::unique_ptr<fault::Injector> injector;
+  if (cfg.fault.enabled()) {
+    if (hooks.replay != nullptr) {
+      fault_decisions = std::make_unique<fault::ReplayDecisionSource>(
+          std::shared_ptr<const replay::Trace>(std::shared_ptr<const replay::Trace>(),
+                                               hooks.replay));
+    } else {
+      fault_decisions = std::make_unique<fault::LiveDecisionSource>(sim.rng());
+      if (hooks.record != nullptr) {
+        fault_decisions = std::make_unique<fault::RecordingDecisionSource>(
+            std::move(fault_decisions), *hooks.record);
+      }
+    }
+    injector = std::make_unique<fault::Injector>(sim, system, net, cfg.fault,
+                                                 *fault_decisions,
+                                                 designated_writers(cfg));
+  }
+
   system.bootstrap();
+  if (injector) injector->start();
   generator->start();
   sim.run_until(cfg.duration);
 
@@ -232,6 +280,16 @@ MetricsReport run_experiment(const ExperimentConfig& cfg, const replay::RunHooks
   report.majority_active_always = chron.min_active_at(cfg.duration) * 2 > cfg.n;
   report.min_active_3delta = static_cast<double>(
       chron.min_active_through_window(3 * cfg.delta, cfg.duration));
+
+  if (injector) {
+    const fault::Injector::Stats& fs = injector->stats();
+    report.faults_crashes = fs.crashes;
+    report.faults_recoveries = fs.recoveries;
+    report.faults_partitions = fs.partitions;
+    report.faults_heals = fs.heals;
+    report.msgs_dropped_partition = net.stats().dropped_partition;
+    report.msgs_transformed = net.stats().transformed;
+  }
 
   report.msgs_by_type = net.delivered_by_type();
   report.regularity = consistency::RegularityChecker{}.check(history);

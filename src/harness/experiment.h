@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "churn/system.h"
+#include "fault/plan.h"
 #include "harness/metrics.h"
 #include "harness/workload_config.h"
 #include "sim/simulation.h"
@@ -67,6 +68,10 @@ struct ExperimentConfig {
 
   /// ES reads write back the returned value (regular -> atomic upgrade).
   bool es_atomic_reads = false;
+  /// ES hardening: bounded exponential retransmit backoff (EsConfig).
+  bool es_retransmit_backoff = false;
+  /// ES hardening: reply-validation guard against forged timestamps.
+  bool es_validate_replies = false;
   /// Footnote 4: known one-way reply bound delta', shrinking the join's
   /// collection window from 2*delta to delta + delta'.
   std::optional<sim::Duration> sync_delta_pp;
@@ -75,6 +80,11 @@ struct ExperimentConfig {
   std::optional<sim::Duration> sync_refresh_interval;
 
   workload::Config workload;  ///< Traffic description + engine (open/closed/bursty).
+
+  /// Deterministic fault campaign (crash/recovery, partitions, Byzantine
+  /// transforms; see docs/FAULTS.md). Default = no faults, and the fault
+  /// machinery is not even constructed — the fault-free path is untouched.
+  fault::Plan fault;
 
   /// Theorem 1's sufficient churn bound for the synchronous protocol.
   [[nodiscard]] double sync_churn_threshold() const { return 1.0 / (3.0 * static_cast<double>(delta)); }

@@ -57,6 +57,17 @@ struct [[nodiscard]] MetricsReport {
   /// min over t of |A(t, t + 3*delta)| — Lemma 2's quantity.
   double min_active_3delta = 0.0;
 
+  // Fault-campaign accounting (fault::Injector + network seam counters; all
+  // zero when the run armed no fault::Plan).
+  std::uint64_t faults_crashes = 0;
+  std::uint64_t faults_recoveries = 0;
+  std::uint64_t faults_partitions = 0;
+  std::uint64_t faults_heals = 0;
+  /// Message copies cut by an active partition (FaultHook::link_cut).
+  std::uint64_t msgs_dropped_partition = 0;
+  /// Delivered copies rewritten by a Byzantine transform.
+  std::uint64_t msgs_transformed = 0;
+
   /// Delivered message copies per wire-type tag (see dynreg/messages.h for
   /// the tag vocabulary).
   std::map<std::string, std::uint64_t> msgs_by_type;

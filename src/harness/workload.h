@@ -71,6 +71,11 @@ class Generator {
   /// Whether the read tick firing at `now` should issue its read.
   virtual bool read_tick_allowed(sim::Time now) const;
 
+  /// The per-op client policy (deadline + retry) the config describes.
+  /// Default config fields build a default OpOptions — byte-identical to
+  /// the historical no-options issue path.
+  [[nodiscard]] client::OpOptions op_options() const;
+
   /// The shared designated-writer stream: writes every write_interval,
   /// each writer kept (mostly) sequential — a tick is skipped while a write
   /// is outstanding unless it has been stuck for two intervals, so a

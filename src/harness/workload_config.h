@@ -53,6 +53,20 @@ struct Config {
   sim::Duration burst_on = 200;
   /// ...followed by ticks of silence.
   sim::Duration burst_off = 200;
+
+  // Per-operation client policy, applied to every issued op (reads, writes,
+  // session reads). The defaults (no deadline, one attempt) reproduce the
+  // historical behavior byte-for-byte.
+  /// Resolve an attempt as timed out this many ticks after issue (0 = none).
+  sim::Duration op_deadline = 0;
+  /// Total attempts allowed per operation, first issue included.
+  std::uint32_t retry_max_attempts = 1;
+  /// Base delay between a failed attempt and its re-issue.
+  sim::Duration retry_backoff = 0;
+  /// Exponential backoff: the k-th retry waits backoff * 2^min(k-1, 5) plus
+  /// a deterministic jitter hashed from (seed, op, attempt) — no Rng draw,
+  /// so the replay layer never sees it (see client::RetryPolicy).
+  bool retry_exponential = false;
 };
 
 }  // namespace dynreg::workload

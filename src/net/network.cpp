@@ -63,6 +63,13 @@ Network::Hop Network::transmit_hop(sim::ProcessId logical_from,
                                    sim::ProcessId hop_from, sim::ProcessId to,
                                    const PayloadPtr& payload,
                                    sim::Duration base_delay) {
+  // Partition cuts act on the physical edge and are checked BEFORE the delay
+  // model: a cut copy consumes no Rng draw, so the recorded net stream stays
+  // positionally aligned between faulted record and replay runs.
+  if (fault_hook_ != nullptr && fault_hook_->link_cut(sim_.now(), hop_from, to)) {
+    ++stats_.dropped_partition;
+    return {true, 0};
+  }
   ++stats_.sent;
   const DelayModel::Verdict verdict = delays_->verdict(
       sim_.now(), hop_from, to, *payload, loss_rate_, sim_.rng());
@@ -76,6 +83,10 @@ Network::Hop Network::transmit_hop(sim::ProcessId logical_from,
 }
 
 void Network::transmit(sim::ProcessId from, sim::ProcessId to, PayloadPtr payload) {
+  if (fault_hook_ != nullptr && fault_hook_->link_cut(sim_.now(), from, to)) {
+    ++stats_.dropped_partition;  // cut before the verdict — see transmit_hop
+    return;
+  }
   ++stats_.sent;
   const DelayModel::Verdict verdict =
       delays_->verdict(sim_.now(), from, to, *payload, loss_rate_, sim_.rng());
@@ -95,14 +106,25 @@ void Network::schedule_delivery(sim::ProcessId from, sim::ProcessId to,
       return;
     }
     ++stats_.delivered;
-    const PayloadTypeId type = payload->type_id();
+    // Byzantine transforms rewrite the copy at delivery time; the hook is
+    // reached through the captured `this`, so the closure stays inline.
+    const Payload* observed = payload.get();
+    PayloadPtr replacement;
+    if (fault_hook_ != nullptr) {
+      replacement = fault_hook_->transform(sim_.now(), from, to, payload);
+      if (replacement != nullptr) {
+        observed = replacement.get();
+        ++stats_.transformed;
+      }
+    }
+    const PayloadTypeId type = observed->type_id();
     if (type >= delivered_by_type_id_.size()) delivered_by_type_id_.resize(type + 1, 0);
     ++delivered_by_type_id_[type];
     // Audit builds fold each delivery's shape into the event-stream hash
     // (no-op otherwise) — a reordered or re-addressed message diverges the
     // digest even when the counters happen to agree.
     sim_.audit_note((std::uint64_t{from} << 40) | (std::uint64_t{to} << 16) | type);
-    slots_[to].handler(from, *payload);
+    slots_[to].handler(from, *observed);
   };
   // The per-copy delivery closure is THE allocation-rate driver of a run;
   // it must never outgrow the scheduler's inline capture budget.

@@ -24,6 +24,7 @@
 
 #include "net/delay_model.h"
 #include "net/disseminator.h"
+#include "net/fault_hook.h"
 #include "net/payload.h"
 #include "sim/inline_function.h"
 #include "sim/simulation.h"
@@ -93,11 +94,19 @@ class Network {
   /// decided at send time with the simulation RNG.
   void set_loss_rate(double rate) { loss_rate_ = rate; }
 
+  /// Installs the injected-fault seam (partition cuts + Byzantine delivery
+  /// transforms; see net/fault_hook.h). nullptr (the default) is the
+  /// zero-overhead fault-free path. Non-owning: the hook must outlive the
+  /// simulation's in-flight deliveries.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
   struct Stats {
     std::uint64_t sent = 0;            // copies handed to the delay model
     std::uint64_t delivered = 0;       // copies that reached a handler
     std::uint64_t dropped_departed = 0;  // receiver left before delivery
     std::uint64_t dropped_loss = 0;      // omission faults
+    std::uint64_t dropped_partition = 0;  // copies cut by FaultHook::link_cut
+    std::uint64_t transformed = 0;        // deliveries rewritten by the hook
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -119,6 +128,7 @@ class Network {
   sim::Simulation& sim_;
   std::unique_ptr<DelayModel> delays_;
   std::unique_ptr<Disseminator> disseminator_;  // nullptr = direct fan-out
+  FaultHook* fault_hook_ = nullptr;             // nullptr = fault-free
   std::vector<sim::ProcessId> recipients_scratch_;
   std::vector<Slot> slots_;  // dense, indexed by ProcessId
   // Sorted live membership: broadcast fan-out walks this, so its cost

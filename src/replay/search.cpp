@@ -45,8 +45,12 @@ Trace perturb(const Trace& base, std::uint64_t variant_seed, const SearchOptions
   const std::uint64_t ops = rng.uniform_int(1, max_ops);
 
   bool churn_shifted = false;
+  // The fault-word operator only exists when the base run recorded fault
+  // decisions: fault-free traces keep the exact historical operator set and
+  // draw sequence, so established search baselines stay byte-identical.
+  const std::uint64_t op_kinds = base.faults.empty() ? 3 : 4;
   for (std::uint64_t op = 0; op < ops; ++op) {
-    switch (rng.uniform_int(0, 3)) {
+    switch (rng.uniform_int(0, op_kinds)) {
       case 0: {  // delay jitter
         if (t.net.empty()) break;
         NetRecord& r = t.net[static_cast<std::size_t>(
@@ -92,6 +96,15 @@ Trace perturb(const Trace& base, std::uint64_t variant_seed, const SearchOptions
           r.time += shift;
         }
         churn_shifted = true;
+        break;
+      }
+      case 4: {  // fault-word scramble: a different-but-legal fault decision
+        // Replacing the raw word at one decision point gives the injector a
+        // different victim / partition side salt / Byzantine transform at
+        // the same schedule position — the fault analogue of delay jitter.
+        FaultRecord& r = t.faults[static_cast<std::size_t>(
+            rng.uniform_int(0, t.faults.size() - 1))];
+        r.value = rng.next();
         break;
       }
     }

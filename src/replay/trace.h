@@ -12,7 +12,10 @@
 //   churn   every churn-driven join and leave, in execution order (the
 //           victim pick is the rng draw being captured);
 //   picks   every client target selection (open-loop reads, sessions,
-//           retry re-targeting all flow through Client::random_active).
+//           retry re-targeting all flow through Client::random_active);
+//   faults  every fault-engine decision (fault::DecisionSource raw draws:
+//           crash victims, partition salts, Byzantine transform choices),
+//           in draw order — format v3.
 //
 // Re-feeding a trace through the replay models (replay/replayer.h) consumes
 // these streams *positionally* — the k-th transmit gets the k-th net
@@ -59,6 +62,16 @@ struct PickRecord {
   sim::ProcessId chosen = 0;
 };
 
+/// One fault-engine decision: the raw 64-bit word a fault::DecisionSource
+/// draw produced. Recording the word (rather than the derived crash victim /
+/// transform choice) keeps the stream independent of how the injector
+/// interprets it, so the schedule search can scramble the word and get a
+/// different-but-legal fault at the same decision point.
+struct FaultRecord {
+  sim::Time time = 0;
+  std::uint64_t value = 0;
+};
+
 /// The recorded schedule of one run.
 struct Trace {
   std::uint64_t fingerprint = 0;    ///< config/scenario key (see trace_io.h)
@@ -75,6 +88,7 @@ struct Trace {
   std::vector<NetRecord> net;
   std::vector<ChurnRecord> churn;
   std::vector<PickRecord> picks;
+  std::vector<FaultRecord> faults;
 
   /// Largest recorded delivery delay (>= 1). Doubles as the legal-schedule
   /// envelope: perturbations that stay under it keep the schedule within
@@ -90,7 +104,7 @@ struct Trace {
 
   /// Total recorded decisions (all streams).
   [[nodiscard]] std::size_t size() const {
-    return net.size() + churn.size() + picks.size();
+    return net.size() + churn.size() + picks.size() + faults.size();
   }
 };
 

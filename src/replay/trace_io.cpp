@@ -175,6 +175,14 @@ void encode_trace(const Trace& t, std::vector<std::uint8_t>& out) {
     prev = r.time;
     put_varint(out, r.chosen);
   }
+
+  put_varint(out, t.faults.size());
+  prev = 0;
+  for (const FaultRecord& r : t.faults) {
+    put_varint(out, r.time - prev);
+    prev = r.time;
+    put_varint(out, r.value);
+  }
 }
 
 Trace decode_trace(Reader& r) {
@@ -225,6 +233,18 @@ Trace decode_trace(Reader& r) {
     rec.time = prev;
     rec.chosen = static_cast<sim::ProcessId>(r.varint());
     t.picks.push_back(rec);
+  }
+
+  count = r.varint();
+  if (count > r.remaining()) r.fail("fault record count exceeds file size");
+  prev = 0;
+  t.faults.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FaultRecord rec;
+    prev += r.varint();
+    rec.time = prev;
+    rec.value = r.varint();
+    t.faults.push_back(rec);
   }
   return t;
 }
@@ -277,6 +297,28 @@ void encode_config(const harness::ExperimentConfig& cfg, std::vector<std::uint8_
   put_varint(out, cfg.workload.burst_off);
   put_u8(out, static_cast<std::uint8_t>(cfg.dissemination));
   put_varint(out, cfg.tree_fanout);
+  // Format v3 appendix: per-op client policy, ES hardening, fault::Plan.
+  put_varint(out, cfg.workload.op_deadline);
+  put_varint(out, cfg.workload.retry_max_attempts);
+  put_varint(out, cfg.workload.retry_backoff);
+  put_u8(out, cfg.workload.retry_exponential ? 1 : 0);
+  put_u8(out, cfg.es_retransmit_backoff ? 1 : 0);
+  put_u8(out, cfg.es_validate_replies ? 1 : 0);
+  put_double(out, cfg.fault.crash.rate);
+  put_double(out, cfg.fault.crash.recover_fraction);
+  put_varint(out, cfg.fault.crash.recovery_delay);
+  put_u8(out, static_cast<std::uint8_t>(cfg.fault.crash.restart));
+  put_double(out, cfg.fault.partition.rate);
+  put_varint(out, cfg.fault.partition.duration);
+  put_double(out, cfg.fault.partition.fraction);
+  put_u8(out, cfg.fault.partition.asymmetric ? 1 : 0);
+  put_double(out, cfg.fault.byzantine.fraction);
+  put_double(out, cfg.fault.byzantine.transform_rate);
+  put_u8(out, static_cast<std::uint8_t>((cfg.fault.byzantine.equivocate ? 1 : 0) |
+                                        (cfg.fault.byzantine.stale_replay ? 2 : 0) |
+                                        (cfg.fault.byzantine.forge ? 4 : 0) |
+                                        (cfg.fault.byzantine.corrupt ? 8 : 0)));
+  put_varint(out, cfg.fault.tick);
 }
 
 harness::ExperimentConfig decode_config(const std::vector<std::uint8_t>& bytes,
@@ -311,6 +353,29 @@ harness::ExperimentConfig decode_config(const std::vector<std::uint8_t>& bytes,
   cfg.dissemination =
       static_cast<harness::Dissemination>(enum_u8(r, 1, "dissemination"));
   cfg.tree_fanout = static_cast<std::size_t>(r.varint());
+  cfg.workload.op_deadline = static_cast<sim::Duration>(r.varint());
+  cfg.workload.retry_max_attempts = static_cast<std::uint32_t>(r.varint());
+  cfg.workload.retry_backoff = static_cast<sim::Duration>(r.varint());
+  cfg.workload.retry_exponential = r.u8() != 0;
+  cfg.es_retransmit_backoff = r.u8() != 0;
+  cfg.es_validate_replies = r.u8() != 0;
+  cfg.fault.crash.rate = r.dbl();
+  cfg.fault.crash.recover_fraction = r.dbl();
+  cfg.fault.crash.recovery_delay = static_cast<sim::Duration>(r.varint());
+  cfg.fault.crash.restart =
+      static_cast<fault::RestartState>(enum_u8(r, 1, "restart state"));
+  cfg.fault.partition.rate = r.dbl();
+  cfg.fault.partition.duration = static_cast<sim::Duration>(r.varint());
+  cfg.fault.partition.fraction = r.dbl();
+  cfg.fault.partition.asymmetric = r.u8() != 0;
+  cfg.fault.byzantine.fraction = r.dbl();
+  cfg.fault.byzantine.transform_rate = r.dbl();
+  const std::uint8_t byz_kinds = enum_u8(r, 15, "byzantine kinds");
+  cfg.fault.byzantine.equivocate = (byz_kinds & 1) != 0;
+  cfg.fault.byzantine.stale_replay = (byz_kinds & 2) != 0;
+  cfg.fault.byzantine.forge = (byz_kinds & 4) != 0;
+  cfg.fault.byzantine.corrupt = (byz_kinds & 8) != 0;
+  cfg.fault.tick = static_cast<sim::Duration>(r.varint());
   pos = r.pos();
   return cfg;
 }

@@ -13,9 +13,10 @@
 //   varint trace count
 //   per trace:
 //     varint fingerprint, varint seed, u64 recorded-hash, u8 churn-loop
-//     three streams (net, churn, picks), each varint count + records with
-//     delta-encoded times and varint fields; net records carry the interned
-//     payload type id and a flags byte (lost)
+//     four streams (net, churn, picks, faults), each varint count + records
+//     with delta-encoded times and varint fields; net records carry the
+//     interned payload type id and a flags byte (lost); fault records carry
+//     the raw 64-bit decision word
 //   u64  checksum   fold64 over every preceding byte
 //
 // The decoder is fully bounds-checked and throws TraceError (with a
@@ -37,9 +38,12 @@ namespace dynreg::replay {
 
 inline constexpr std::uint32_t kTraceMagic = 0x52545244u;  // "DRTR"
 // Version 2 appended the dissemination mode + tree fanout to the embedded
+// config. Version 3 added the fault-decision stream per trace (crash /
+// partition / Byzantine words, see replay/trace.h) and appended the per-op
+// client policy, ES hardening flags, and the fault::Plan to the embedded
 // config. Older files are rejected (no binary traces are kept as fixtures;
 // recordings are artifacts of the session that made them).
-inline constexpr std::uint32_t kTraceVersion = 2u;
+inline constexpr std::uint32_t kTraceVersion = 3u;
 
 /// Malformed trace bytes (truncation, bad magic, version from the future,
 /// corrupted body). The message names the offending offset or field.

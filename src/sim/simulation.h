@@ -25,10 +25,16 @@ namespace dynreg::sim {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+  explicit Simulation(std::uint64_t seed) : rng_(seed), seed_(seed) {}
 
   [[nodiscard]] Time now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  /// The seed the run was constructed with. For *pure-hash* derivations
+  /// (e.g. the client's deterministic retry jitter), which must vary per
+  /// seed without consuming an Rng draw — never for seeding new streams on
+  /// an event path.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Epoch-reclaimed arena for payloads and pending-op records. step()
   /// advances its epoch whenever the simulated clock advances, so storage
@@ -108,6 +114,7 @@ class Simulation {
   Arena arena_;
   EventQueue queue_;
   Rng rng_;
+  std::uint64_t seed_ = 0;
 #ifdef DYNREG_AUDIT
   std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;  // non-zero: "audited, empty"
   std::uint64_t audit_seq_ = 0;

@@ -1,0 +1,117 @@
+// Fault-plan fuzz: randomly generated (often extreme) fault campaigns must
+// never crash the simulator — no UB, no assertion failures, no unhandled
+// exceptions — under any protocol, including degenerate system sizes. The
+// CI sanitizer job runs this under ASan/UBSan, which is where the test
+// earns its keep: a dangling node pointer after an injected crash, or a
+// payload rebuild of the wrong type, dies loudly here.
+//
+// The generator seed is fixed: the "random" campaigns are the same every
+// run, so a failure is reproducible by iteration index alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "fault/plan.h"
+#include "harness/experiment.h"
+
+namespace dynreg::fault {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::Protocol;
+
+// std::mt19937_64 (not sim::Rng) on purpose: this drives *test-case
+// generation*, not simulated behavior — each generated config is itself
+// fully deterministic once built.
+fault::Plan random_plan(std::mt19937_64& gen) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  Plan plan;
+  if (unit(gen) < 0.7) {
+    plan.crash.rate = unit(gen) * 0.2;  // up to one crash per 5 ticks
+    plan.crash.recover_fraction = unit(gen);
+    plan.crash.recovery_delay = static_cast<sim::Duration>(gen() % 60);
+    plan.crash.restart =
+        gen() % 2 == 0 ? RestartState::kDurable : RestartState::kVolatile;
+  }
+  if (unit(gen) < 0.7) {
+    plan.partition.rate = unit(gen) * 0.05;
+    plan.partition.duration = static_cast<sim::Duration>(gen() % 400);
+    plan.partition.fraction = unit(gen);  // may exceed any sane minority
+    plan.partition.asymmetric = gen() % 2 == 0;
+  }
+  if (unit(gen) < 0.7) {
+    plan.byzantine.fraction = unit(gen);
+    plan.byzantine.transform_rate = unit(gen);
+    plan.byzantine.equivocate = gen() % 2 == 0;
+    plan.byzantine.stale_replay = gen() % 2 == 0;
+    plan.byzantine.forge = gen() % 2 == 0;
+    plan.byzantine.corrupt = gen() % 2 == 0;
+  }
+  plan.tick = 1 + static_cast<sim::Duration>(gen() % 4);
+  return plan;
+}
+
+TEST(FaultFuzz, RandomCampaignsNeverCrashTheSimulator) {
+  std::mt19937_64 gen(0xfadefadeULL);
+  const Protocol protocols[] = {Protocol::kSync, Protocol::kEventuallySync,
+                                Protocol::kAbd};
+  for (int i = 0; i < 24; ++i) {
+    SCOPED_TRACE(i);
+    ExperimentConfig cfg;
+    cfg.protocol = protocols[i % 3];
+    if (cfg.protocol == Protocol::kEventuallySync) {
+      cfg.timing = harness::Timing::kEventuallySynchronous;
+      cfg.gst = 0;
+    }
+    cfg.n = 1 + static_cast<std::size_t>(gen() % 12);
+    cfg.delta = 1 + static_cast<sim::Duration>(gen() % 8);
+    cfg.duration = 300;
+    cfg.seed = gen();
+    cfg.workload.read_interval = 5;
+    cfg.workload.write_interval = 25;
+    cfg.fault = random_plan(gen);
+
+    const auto report = harness::run_experiment(cfg);
+
+    // Structural invariants any campaign must respect, however extreme:
+    EXPECT_LE(report.faults_recoveries, report.faults_crashes);
+    EXPECT_LE(report.faults_heals, report.faults_partitions);
+    if (!cfg.fault.byzantine_enabled()) {
+      EXPECT_EQ(report.msgs_transformed, 0u);
+    }
+    if (!cfg.fault.partition_enabled()) {
+      EXPECT_EQ(report.msgs_dropped_partition, 0u);
+    }
+  }
+}
+
+TEST(FaultFuzz, ExtremeRatesAreSurvivable) {
+  // The worst corner deliberately: every class at maximum heat on a tiny
+  // system. Everything may time out or die; nothing may crash the process.
+  for (const auto protocol :
+       {Protocol::kSync, Protocol::kEventuallySync, Protocol::kAbd}) {
+    ExperimentConfig cfg;
+    cfg.protocol = protocol;
+    if (protocol == Protocol::kEventuallySync) {
+      cfg.timing = harness::Timing::kEventuallySynchronous;
+      cfg.gst = 0;
+    }
+    cfg.n = 3;
+    cfg.delta = 2;
+    cfg.duration = 200;
+    cfg.fault.crash.rate = 1.0;  // a crash every tick, system size 3
+    cfg.fault.crash.recover_fraction = 1.0;
+    cfg.fault.crash.recovery_delay = 0;
+    cfg.fault.partition.rate = 1.0;
+    cfg.fault.partition.duration = 50;
+    cfg.fault.partition.fraction = 0.99;
+    cfg.fault.byzantine.fraction = 1.0;
+    cfg.fault.byzantine.transform_rate = 1.0;
+    const auto report = harness::run_experiment(cfg);
+    EXPECT_GT(report.faults_crashes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dynreg::fault

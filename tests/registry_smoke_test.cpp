@@ -9,12 +9,12 @@
 namespace dynreg::bench {
 namespace {
 
-TEST(Registry, AllSixteenExperimentsRegistered) {
+TEST(Registry, AllEighteenExperimentsRegistered) {
   const auto all = ExperimentRegistry::instance().list();
-  ASSERT_EQ(all.size(), 16u);
+  ASSERT_EQ(all.size(), 18u);
   // Ordered by paper-experiment id (numerically: E2 before E10).
   EXPECT_EQ(all.front()->id, "E1");
-  EXPECT_EQ(all.back()->id, "E16");
+  EXPECT_EQ(all.back()->id, "E18");
   for (const Experiment* e : all) {
     EXPECT_FALSE(e->name.empty());
     EXPECT_FALSE(e->paper_ref.empty());

@@ -57,13 +57,14 @@ class Rule:
                 yield lineno, self.message
 
 
-from . import api, containers, determinism, hotpath  # noqa: E402
+from . import api, containers, determinism, fault, hotpath  # noqa: E402
 
 RULES: List[Rule] = [
     *determinism.RULES,
     *containers.RULES,
     *hotpath.RULES,
     *api.RULES,
+    *fault.RULES,
 ]
 
 _names = [r.name for r in RULES]

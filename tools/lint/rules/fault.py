@@ -1,0 +1,37 @@
+"""Fault-engine randomness discipline.
+
+Every fault decision — crash victim, recovery coin, partition salt,
+Byzantine transform word — must flow through fault::DecisionSource
+(src/fault/decision.h): that is the seam that records decisions into the
+trace's fault stream (format v3) and feeds them back on replay. A direct
+sim::Rng draw inside src/fault/ would work in a live run and then silently
+diverge under record/replay, because the replayed run's Rng never produces
+the subsequence the live run consumed.
+
+The decision layer itself is the sanctioned consumer; its three touch
+points carry annotated allowances:
+
+    // dynreg-lint: allow(fault-rng-bypass): <why this is the decision layer>
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import Rule
+
+RULES = [
+    Rule(
+        name="fault-rng-bypass",
+        description=(
+            "Ban direct sim::Rng access in src/fault/; all fault decisions must "
+            "draw through fault::DecisionSource so they record and replay."
+        ),
+        message=(
+            "direct Rng access bypasses the fault decision layer and diverges under "
+            "record/replay — draw through fault::DecisionSource (src/fault/decision.h)"
+        ),
+        pattern=re.compile(r"sim\s*::\s*Rng\b|\brng\s*\(\s*\)"),
+        paths=("src/fault/",),
+    ),
+]

@@ -1,0 +1,18 @@
+// Fixture: direct Rng access inside src/fault/ bypasses the decision layer.
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace fixture {
+
+struct BadInjector {
+  sim::Rng scratch{42};  // MUST-FLAG fault-rng-bypass
+
+  unsigned long pick_victim(sim::Simulation& sim) {
+    return sim.rng().next();  // MUST-FLAG fault-rng-bypass
+  }
+
+  // dynreg-lint: allow(fault-rng-bypass): annotated uses stay allowed
+  double annotated(sim::Rng& rng) { return rng.uniform01(); }
+};
+
+}  // namespace fixture
