@@ -1,0 +1,137 @@
+// E20 — sharded keyspace: per-shard tail latency under churn and zipfian
+// skew. Not a paper claim — the shard layer's tail-behavior experiment: a
+// hash partition spreads KEYS evenly over shards, but a zipfian workload
+// concentrates TRAFFIC, so the shard owning the head of the distribution
+// queues deeper (sessions serialize per target process, writes per writer)
+// and its p99 pulls away from the cold shards' — all while every shard
+// keeps riding the same constant membership churn.
+//
+// Grid: zipf exponent sweep at a fixed shard count, plus a hot-key storm
+// cell (periodic phases where every session hammers key 0) as the extreme
+// point of the same effect.
+#include <string>
+
+#include "harness/sweep.h"
+#include "registry.h"
+
+namespace dynreg::bench {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::MetricsReport;
+using stats::Cell;
+
+constexpr std::size_t kDefaultSeeds = 3;
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kSync;
+  cfg.timing = harness::Timing::kSynchronous;
+  cfg.n = 240;
+  cfg.delta = 5;
+  cfg.duration = 1200;
+  cfg.shard_count = 8;
+  cfg.churn_kind = harness::ChurnKind::kConstant;
+  // Well below Theorem 1's threshold (1/(3*delta) ~ 0.067): churn stresses
+  // the tail without threatening safety.
+  cfg.churn_rate = 0.02;
+  cfg.workload.key_count = 64;
+  cfg.workload.read_frac = 0.8;
+  cfg.workload.think_time = 2;
+  cfg.workload.clients = 120;
+  return cfg;
+}
+
+void add_point_row(stats::DataTable& table, const std::string& label,
+                   const std::vector<MetricsReport>& runs) {
+  const auto agg = harness::aggregate_metrics(runs);
+  const double hot = harness::mean_of(
+      runs, [](const MetricsReport& r) { return r.shard_hot_p99; });
+  const double cold = harness::mean_of(
+      runs, [](const MetricsReport& r) { return r.shard_cold_p99; });
+  const double skew = harness::mean_of(
+      runs, [](const MetricsReport& r) { return r.shard_skew; });
+  const double ops = harness::mean_of(
+      runs, [](const MetricsReport& r) { return r.ops_per_tick; });
+  const double dropped = harness::mean_of(runs, [](const MetricsReport& r) {
+    return static_cast<double>(r.reads_dropped + r.writes_dropped);
+  });
+  table.add_row({Cell::str(label), Cell::num(hot, 1), Cell::num(cold, 1),
+                 Cell::num(cold > 0.0 ? hot / cold : 0.0, 2), Cell::num(skew, 2),
+                 Cell::num(agg.read_latency_p99.mean, 1), Cell::num(ops, 2),
+                 Cell::num(dropped, 1)});
+}
+
+ExperimentResult run(const RunOptions& opts) {
+  const std::size_t seeds = opts.seeds > 0 ? opts.seeds : 1;  // resolved by run_resolved()
+
+  ExperimentConfig base = base_config();
+  if (opts.max_n > 0 && opts.max_n < base.n) {
+    base.n = opts.max_n;
+    base.workload.clients = std::max<std::size_t>(1, opts.max_n / 2);
+  }
+  apply_workload(opts, base);  // --shards/--zipf/--read-frac/--think etc.
+
+  const std::vector<double> zipf_exponents{0.0, 0.99, 1.5};
+
+  const auto points = harness::parallel_sweep(
+      base, zipf_exponents,
+      [](ExperimentConfig& cfg, double s) { cfg.workload.zipf_s = s; }, seeds,
+      opts.jobs);
+
+  const std::vector<std::string> columns{"workload",  "hot p99",  "cold p99",
+                                         "hot/cold",  "op skew",  "read p99",
+                                         "ops/tick",  "dropped"};
+
+  stats::DataTable table(columns);
+  for (const auto& p : points) {
+    add_point_row(table, "zipf " + stats::Table::fmt(p.x, 2), p.runs);
+  }
+
+  // Storm cell: the head key's traffic share goes to ~100% for storm_len of
+  // every storm_every ticks — the zipfian effect at its limit.
+  ExperimentConfig storm = base;
+  storm.workload.zipf_s = 0.99;
+  storm.workload.storm_every = 200;
+  storm.workload.storm_len = 50;
+  const auto storm_runs = harness::run_replicas(storm, seeds, opts.jobs);
+  add_point_row(table, "zipf 0.99 + storm", storm_runs);
+
+  ExperimentResult result;
+  result.sections.push_back(
+      {"shard_tail_churn", "", std::move(table),
+       "Expected shape: hot/cold and op-skew grow monotonically with the\n"
+       "zipf exponent. Even at zipf 0 the hash partition leaves shards\n"
+       "owning unequal slices of the 64-key space, so closed-loop feedback\n"
+       "already separates the tails; skew then concentrates traffic on the\n"
+       "head shard — hot p99 >= 2x cold p99 from zipf 0.99 on — while\n"
+       "aggregate ops/tick sags (the closed loop waits on the hot shard).\n"
+       "The storm cell approaches the limit: whole phases on one key.\n"});
+  return result;
+}
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "shard_tail_churn";
+  e.id = "E20";
+  e.title = "sharded keyspace: per-shard tails under churn and skew";
+  e.paper_ref = "multi-register extension (systems experiment; not a paper claim)";
+  e.grid = "zipf s in {0, 0.99, 1.5} + hot-key storm; sync, 8 shards, n=240, "
+           "120 sessions, churn 0.02";
+  e.default_seeds = kDefaultSeeds;
+  e.run = run;
+  e.scenario = [] {
+    ExperimentConfig cfg = base_config();
+    cfg.workload.zipf_s = 0.99;
+    cfg.workload.storm_every = 200;
+    cfg.workload.storm_len = 50;
+    cfg.duration = 600;
+    return cfg;
+  };
+  return e;
+}
+
+const Registrar registrar{make_experiment()};
+
+}  // namespace
+}  // namespace dynreg::bench

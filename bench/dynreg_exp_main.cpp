@@ -5,7 +5,8 @@
 //   dynreg_exp run <name>... [--seeds=N] [--jobs=N] [--format=F] [--out=DIR]
 //              [--workload=W] [--clients=N] [--think=N] [--burst=ON/OFF]
 //              [--max-n=N] [--op-deadline=N] [--retry-attempts=N]
-//              [--retry-backoff=[exp:]N]
+//              [--retry-backoff=[exp:]N] [--shards=N] [--zipf=S]
+//              [--read-frac=F]
 //   dynreg_exp run --all [options]
 //       Runs experiments. --seeds sets replicas per sweep point (0/omitted:
 //       experiment default); --jobs caps parallel replicas (0: one per
@@ -21,6 +22,9 @@
 //       --retry-backoff=exp:N backs off exponentially (N * 2^k, capped,
 //       plus deterministic jitter) — see docs/FAULTS.md. Scripted
 //       constructions (E1, E2, E5) ignore all workload overrides.
+//       Sharded-keyspace knobs (E19, E20; docs/ARCHITECTURE.md): --shards
+//       overrides the shard count, --zipf the zipfian skew exponent of the
+//       keyed workload, --read-frac its read fraction in [0, 1].
 //   dynreg_exp record <name> --out=FILE [--seeds=N] [--jobs=N]
 //       Runs one experiment with every schedule decision captured, writes
 //       the trace set to FILE, and prints the run's JSON to stdout.
@@ -75,7 +79,8 @@ int usage(std::ostream& os, int code) {
         "                  [--workload=open|closed|bursty] [--clients=N]\n"
         "                  [--think=N] [--burst=ON/OFF] [--max-n=N]\n"
         "                  [--op-deadline=N] [--retry-attempts=N]\n"
-        "                  [--retry-backoff=[exp:]N]\n"
+        "                  [--retry-backoff=[exp:]N] [--shards=N] [--zipf=S]\n"
+        "                  [--read-frac=F]\n"
         "       dynreg_exp record <name> --out=FILE [--seeds=N] [--jobs=N]\n"
         "       dynreg_exp replay FILE [--jobs=N]\n"
         "       dynreg_exp search <name|FILE> [--budget=N] [--seed=N] [--jobs=N]\n"
@@ -110,6 +115,20 @@ std::optional<std::size_t> parse_count(const std::string& s) {
     return static_cast<std::size_t>(std::stoul(s));
   } catch (...) {
     return std::nullopt;  // out of range
+  }
+}
+
+std::optional<double> parse_fraction(const std::string& s) {
+  // Non-negative decimals only ("0.99", "1"); rejects signs and exponents so
+  // a typo cannot smuggle a surprising value in.
+  if (s.empty() || s.find_first_not_of("0123456789.") != std::string::npos ||
+      s.find('.') != s.rfind('.')) {
+    return std::nullopt;
+  }
+  try {
+    return std::stod(s);
+  } catch (...) {
+    return std::nullopt;
   }
 }
 
@@ -214,6 +233,27 @@ int cmd_run(const std::vector<std::string>& args) {
       }
       opts.workload.retry_backoff = static_cast<sim::Duration>(*n);
       opts.workload.retry_exponential = exponential;
+    } else if (auto vsh = flag_value(arg, "--shards")) {
+      const auto n = parse_count(*vsh);
+      if (!n || *n == 0) {
+        std::cerr << "bad --shards value: " << *vsh << "\n";
+        return 2;
+      }
+      opts.workload.shards = *n;
+    } else if (auto vz = flag_value(arg, "--zipf")) {
+      const auto f = parse_fraction(*vz);
+      if (!f) {
+        std::cerr << "bad --zipf value: " << *vz << "\n";
+        return 2;
+      }
+      opts.workload.zipf = *f;
+    } else if (auto vrf = flag_value(arg, "--read-frac")) {
+      const auto f = parse_fraction(*vrf);
+      if (!f || *f > 1.0) {
+        std::cerr << "bad --read-frac value: " << *vrf << " (expected [0, 1])\n";
+        return 2;
+      }
+      opts.workload.read_frac = *f;
     } else if (auto vm = flag_value(arg, "--max-n")) {
       const auto n = parse_count(*vm);
       if (!n || *n == 0) {

@@ -60,6 +60,9 @@ void apply_workload(const RunOptions& opts, harness::ExperimentConfig& cfg) {
   if (w.retry_attempts) cfg.workload.retry_max_attempts = *w.retry_attempts;
   if (w.retry_backoff) cfg.workload.retry_backoff = *w.retry_backoff;
   if (w.retry_exponential) cfg.workload.retry_exponential = *w.retry_exponential;
+  if (w.shards) cfg.shard_count = *w.shards;
+  if (w.zipf) cfg.workload.zipf_s = *w.zipf;
+  if (w.read_frac) cfg.workload.read_frac = *w.read_frac;
 }
 
 ExperimentResult run_resolved(const Experiment& e, RunOptions opts) {

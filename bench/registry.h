@@ -44,6 +44,13 @@ struct WorkloadOverrides {
   std::optional<std::uint32_t> retry_attempts;
   std::optional<sim::Duration> retry_backoff;
   std::optional<bool> retry_exponential;
+  /// Sharded-keyspace knobs (--shards / --zipf / --read-frac): shard count
+  /// (engages the src/shard/ pipeline when > 0), zipfian skew exponent, and
+  /// the keyed engine's read fraction. Ignored by unsharded experiments that
+  /// never read cfg.shard_count.
+  std::optional<std::size_t> shards;
+  std::optional<double> zipf;
+  std::optional<double> read_frac;
 };
 
 /// CLI-controlled execution knobs handed to every experiment run function.

@@ -26,7 +26,8 @@ System::System(sim::Simulation& sim, net::Network& net, SystemConfig config,
       net_(net),
       config_(std::move(config)),
       churn_(std::move(churn)),
-      factory_(std::move(factory)) {}
+      factory_(std::move(factory)),
+      chronicle_(config_.chronicle) {}
 
 void System::bootstrap() {
   for (std::size_t i = 0; i < config_.initial_size; ++i) add_member(/*initial=*/true);

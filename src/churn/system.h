@@ -31,6 +31,9 @@ struct SystemConfig {
   std::vector<sim::ProcessId> exempt;
   /// Granularity of churn arithmetic, in ticks.
   sim::Duration churn_tick = 1;
+  /// Chronicle memory policy (default: full per-process records, the
+  /// historical behavior; see churn::ChronicleOptions).
+  ChronicleOptions chronicle;
 };
 
 /// Observes churn-driven membership actions as the system executes them —

@@ -72,6 +72,15 @@ OpHandle Client::session_read(sim::ProcessId target, OpOptions options, OpHook d
   return OpHandle(&rec);
 }
 
+OpHandle Client::session_write(sim::ProcessId target, Value v, OpOptions options,
+                               OpHook done) {
+  OpRecord& rec = new_record(OpType::kWrite, target, std::move(options), std::move(done));
+  rec.value = v;
+  rec.session = true;
+  enqueue_session(rec);
+  return OpHandle(&rec);
+}
+
 std::optional<sim::ProcessId> Client::random_active() {
   const auto& actives = system_.active_ids();
   if (actives.empty()) return std::nullopt;

@@ -192,6 +192,14 @@ class Client {
   OpHandle session_read(sim::ProcessId target, OpOptions options = {},
                         OpHook done = {});
 
+  /// Closed-loop write: like write(), but serialized through the target's
+  /// session FIFO exactly as session_read — the shard layer's write path,
+  /// where every keyed write funnels to the shard's designated writer and
+  /// the FIFO is what makes aggregate write throughput scale with shard
+  /// count (one serialized writer per shard).
+  OpHandle session_write(sim::ProcessId target, Value v, OpOptions options = {},
+                         OpHook done = {});
+
   /// A uniformly random active process (one rng draw), or nullopt when no
   /// process is active — the one selection routine every traffic source
   /// (open-loop ticks, sessions, retry re-targeting) shares, so their RNG

@@ -14,6 +14,7 @@
 #include "dynreg/sync_register.h"
 #include "fault/decision.h"
 #include "fault/injector.h"
+#include "harness/builders.h"
 #include "harness/workload.h"
 #include "net/delay_model.h"
 #include "net/network.h"
@@ -22,12 +23,9 @@
 #include "replay/replayer.h"
 #include "replay/session.h"
 #include "replay/trace_io.h"
+#include "shard/sharded_run.h"
 
 namespace dynreg::harness {
-
-namespace {
-
-constexpr Value kInitialValue = 0;
 
 std::unique_ptr<net::DelayModel> build_delays(const ExperimentConfig& cfg) {
   if (cfg.timing == Timing::kEventuallySynchronous) {
@@ -37,7 +35,8 @@ std::unique_ptr<net::DelayModel> build_delays(const ExperimentConfig& cfg) {
   return std::make_unique<net::SynchronousDelay>(cfg.delta);
 }
 
-churn::System::NodeFactory build_factory(const ExperimentConfig& cfg) {
+churn::System::NodeFactory build_node_factory(const ExperimentConfig& cfg,
+                                              std::size_t n) {
   switch (cfg.protocol) {
     case Protocol::kSync:
     case Protocol::kSyncNoWait: {
@@ -53,7 +52,7 @@ churn::System::NodeFactory build_factory(const ExperimentConfig& cfg) {
     }
     case Protocol::kEventuallySync: {
       EsConfig ec;
-      ec.n = cfg.n;
+      ec.n = n;
       // Retransmit cadence scales with the dissemination depth: a flat
       // broadcast completes a round trip within ~2*delta, but over a fanout
       // tree a copy crosses ceil(log_f(n)) hops each way, so the fixed
@@ -62,14 +61,14 @@ churn::System::NodeFactory build_factory(const ExperimentConfig& cfg) {
       // docs/PERFORMANCE.md). Flat keeps the historical value byte-for-byte
       // (depth 1 => (1+1)*delta == 2*delta).
       std::size_t depth = 1;
-      if (cfg.dissemination == Dissemination::kTree && cfg.n > 1) {
+      if (cfg.dissemination == Dissemination::kTree && n > 1) {
         const std::size_t fanout = std::max<std::size_t>(1, cfg.tree_fanout);
         std::size_t reach = 1;  // processes within `depth` hops of the root
         std::size_t level = 1;
-        while (reach < cfg.n) {
+        while (reach < n) {
           level = fanout == 1 ? 1 : level * fanout;
           reach += level;
-          if (reach < cfg.n) ++depth;
+          if (reach < n) ++depth;
         }
       }
       ec.retransmit_interval =
@@ -84,7 +83,7 @@ churn::System::NodeFactory build_factory(const ExperimentConfig& cfg) {
     }
     case Protocol::kAbd: {
       AbdConfig ac;
-      ac.n = cfg.n;
+      ac.n = n;
       ac.initial_value = kInitialValue;
       return [ac](sim::ProcessId id, node::Context& ctx, bool initial) {
         return std::make_unique<AbdRegisterNode>(id, ctx, ac, initial);
@@ -94,9 +93,6 @@ churn::System::NodeFactory build_factory(const ExperimentConfig& cfg) {
   return nullptr;
 }
 
-/// Designated writers (pinned: exempt from churn, as in the paper where the
-/// writer stays in the system). Empty when writes are disabled — then nobody
-/// is exempt and the register value must survive on its own.
 std::vector<sim::ProcessId> designated_writers(const ExperimentConfig& cfg) {
   std::vector<sim::ProcessId> writers;
   if (!cfg.workload.writes_enabled) return writers;
@@ -108,8 +104,6 @@ std::vector<sim::ProcessId> designated_writers(const ExperimentConfig& cfg) {
   }
   return writers;
 }
-
-}  // namespace
 
 MetricsReport run_experiment(const ExperimentConfig& cfg) {
   replay::Session& session = replay::Session::instance();
@@ -143,6 +137,11 @@ MetricsReport run_experiment(const ExperimentConfig& cfg) {
 }
 
 MetricsReport run_experiment(const ExperimentConfig& cfg, const replay::RunHooks& hooks) {
+  // The sharded keyspace has its own pipeline (per-shard worlds, keyed
+  // workload, shard-aware replay wiring); shard_count == 0 keeps this
+  // function byte-identical to pre-shard builds.
+  if (cfg.shard_count > 0) return shard::run_sharded(cfg, hooks);
+
   sim::Simulation sim(cfg.seed);
 
   // Replay components must outlive the run; the chooser in particular is
@@ -179,6 +178,7 @@ MetricsReport run_experiment(const ExperimentConfig& cfg, const replay::RunHooks
   sys_cfg.initial_size = cfg.n;
   sys_cfg.leave_policy = cfg.leave_policy;
   sys_cfg.exempt = designated_writers(cfg);
+  sys_cfg.chronicle = {cfg.chronicle_aggregate, 3 * cfg.delta, cfg.duration};
 
   std::unique_ptr<churn::ChurnModel> churn_model;
   if (replayer) {
@@ -189,7 +189,8 @@ MetricsReport run_experiment(const ExperimentConfig& cfg, const replay::RunHooks
     churn_model = std::make_unique<churn::ConstantChurn>(cfg.churn_rate);
   }
 
-  churn::System system(sim, net, sys_cfg, std::move(churn_model), build_factory(cfg));
+  churn::System system(sim, net, sys_cfg, std::move(churn_model),
+                       build_node_factory(cfg, cfg.n));
   client::Client client(sim, system, history, cfg.duration);
 
   std::optional<replay::TraceRecorder> recorder;

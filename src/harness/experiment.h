@@ -81,6 +81,21 @@ struct ExperimentConfig {
 
   workload::Config workload;  ///< Traffic description + engine (open/closed/bursty).
 
+  /// Sharded keyspace (src/shard/): number of independent register groups
+  /// the total population n is partitioned into, each with its own network,
+  /// membership, designated writer, and history, driven by the keyed
+  /// workload engine. 0 = the single-register path, byte-identical to
+  /// pre-shard builds. Fault plans are ignored when sharded (the injector
+  /// targets the one-system world; E19/E20 arm none).
+  std::size_t shard_count = 0;
+
+  /// churn::ChronicleOptions::aggregate_only for every System this run
+  /// builds: keep the A(t) counters, drop per-member records, so 1e5-scale
+  /// runs don't pay O(joins) memory per shard. Results are unchanged
+  /// (regression-tested), so this flag is excluded from the canonical
+  /// encoding and never splits a trace fingerprint.
+  bool chronicle_aggregate = false;
+
   /// Deterministic fault campaign (crash/recovery, partitions, Byzantine
   /// transforms; see docs/FAULTS.md). Default = no faults, and the fault
   /// machinery is not even constructed — the fault-free path is untouched.

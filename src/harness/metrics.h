@@ -5,10 +5,23 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "consistency/regularity_checker.h"
 
 namespace dynreg::harness {
+
+/// One shard's slice of a sharded run (src/shard/). Latency percentiles are
+/// nearest-rank over the shard's completed ops (reads and writes combined —
+/// the tail a keyed caller of that shard observes).
+struct ShardMetrics {
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+  /// reads_completed + writes_completed (the skew denominator).
+  std::uint64_t ops_completed = 0;
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+};
 
 /// Everything measured in one run. Produced by run_experiment; cross-seed
 /// summaries live in harness/aggregate.h (which never averages the safety
@@ -67,6 +80,19 @@ struct [[nodiscard]] MetricsReport {
   std::uint64_t msgs_dropped_partition = 0;
   /// Delivered copies rewritten by a Byzantine transform.
   std::uint64_t msgs_transformed = 0;
+
+  // Shard layer (src/shard/; all empty/zero for unsharded runs — the
+  // emitters build tables from these only in the sharded experiments, so
+  // pre-shard experiment output is untouched).
+  /// Per-shard slices, in shard order.
+  std::vector<ShardMetrics> shards;
+  /// Max / min per-shard combined-op p99 over shards that completed ops.
+  double shard_hot_p99 = 0.0;
+  double shard_cold_p99 = 0.0;
+  /// Hot-shard skew: max per-shard ops_completed over the mean.
+  double shard_skew = 0.0;
+  /// Aggregate throughput: completed ops (reads + writes) per tick.
+  double ops_per_tick = 0.0;
 
   /// Delivered message copies per wire-type tag (see dynreg/messages.h for
   /// the tag vocabulary).

@@ -67,6 +67,22 @@ struct Config {
   /// a deterministic jitter hashed from (seed, op, attempt) — no Rng draw,
   /// so the replay layer never sees it (see client::RetryPolicy).
   bool retry_exponential = false;
+
+  // Keyed workload (sharded runs only — engaged when ExperimentConfig::
+  // shard_count > 0; see src/shard/keyed_workload.h). Sessions reuse
+  // `clients` (session count) and `think_time`.
+  /// Size of the key space; 0 behaves as 1 (a single-key space).
+  std::size_t key_count = 0;
+  /// Zipfian exponent for key popularity (0 = uniform; rank 0 hottest).
+  double zipf_s = 0.99;
+  /// Fraction of keyed ops that are reads; the rest are writes through the
+  /// owning shard's designated writer.
+  double read_frac = 0.9;
+  /// Hot-key storm phase: every `storm_every` ticks, the first `storm_len`
+  /// ticks route every op to key 0 (0 = no storms) — same clock-arithmetic
+  /// gating as the bursty engine.
+  sim::Duration storm_every = 0;
+  sim::Duration storm_len = 0;
 };
 
 }  // namespace dynreg::workload

@@ -36,6 +36,28 @@ class TraceRecorder final : public churn::ChurnObserver, public client::TargetOb
   Trace& out_;
 };
 
+/// Per-shard churn recorder for sharded runs (src/shard/): each shard's
+/// System gets its own observer tagging records with the shard id, all
+/// appending to the one shared Trace in execution order. Replay routes each
+/// record back to its shard's ReplayChurnModel by this tag (replayer.h) —
+/// ids and churn-tick times repeat across shards, so an untagged stream
+/// could not be demultiplexed.
+class ShardChurnRecorder final : public churn::ChurnObserver {
+ public:
+  ShardChurnRecorder(Trace& out, std::uint32_t shard) : out_(out), shard_(shard) {}
+
+  void on_churn_join(sim::Time t) override {
+    out_.churn.push_back({t, true, 0, shard_});
+  }
+  void on_churn_leave(sim::Time t, sim::ProcessId victim) override {
+    out_.churn.push_back({t, false, victim, shard_});
+  }
+
+ private:
+  Trace& out_;
+  std::uint32_t shard_;
+};
+
 /// Wraps the run's real delay model, appending every verdict (loss decision
 /// + delivery delay) to the trace's net stream in transmit order.
 class RecordingDelayModel final : public net::DelayModel {

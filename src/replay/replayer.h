@@ -85,12 +85,21 @@ class ReplayChurnModel final : public churn::ChurnModel {
   explicit ReplayChurnModel(std::shared_ptr<const Trace> trace)
       : trace_(std::move(trace)) {}
 
+  /// Shard-filtered variant for sharded runs: this model executes only the
+  /// records tagged `shard`, skipping (and permanently passing over) the
+  /// rest. Every shard's model scans the shared stream with its own cursor;
+  /// all shards tick at the same cadence, so each record is executed by
+  /// exactly its owner exactly once.
+  ReplayChurnModel(std::shared_ptr<const Trace> trace, std::uint32_t shard)
+      : trace_(std::move(trace)), shard_(shard), filtered_(true) {}
+
   double rate() const override { return 0.0; }
   [[nodiscard]] bool scripted() const override { return true; }
 
   void actions_at(sim::Time now, std::vector<churn::ChurnAction>& out) override {
     while (next_ < trace_->churn.size() && trace_->churn[next_].time <= now) {
       const ChurnRecord& r = trace_->churn[next_++];
+      if (filtered_ && r.shard != shard_) continue;
       out.push_back({r.join, r.victim});
     }
   }
@@ -98,6 +107,8 @@ class ReplayChurnModel final : public churn::ChurnModel {
  private:
   std::shared_ptr<const Trace> trace_;
   std::size_t next_ = 0;
+  std::uint32_t shard_ = 0;
+  bool filtered_ = false;
 };
 
 /// Replays client target picks. A recorded pick that is no longer active
@@ -127,6 +138,31 @@ class ReplayTargetChooser final : public client::TargetChooser {
   std::size_t next_ = 0;
 };
 
+/// Non-owning forwarding view over a shared ReplayDelayModel — what each
+/// shard's Network owns in a sharded replay. Recording interleaved every
+/// shard's verdicts into the ONE net stream in execution order, so replay
+/// must consume them through one shared positional cursor; the wrappers give
+/// every Network its own DelayModel object (networks own their models) while
+/// the cursor stays shared. The TraceReplayer owns the real model and must
+/// outlive every Network holding a view.
+class SharedDelayModelView final : public net::DelayModel {
+ public:
+  explicit SharedDelayModelView(ReplayDelayModel* shared) : shared_(shared) {}
+
+  sim::Duration delay(sim::Time now, sim::ProcessId from, sim::ProcessId to,
+                      const net::Payload& payload, sim::Rng& rng) override {
+    return shared_->delay(now, from, to, payload, rng);
+  }
+
+  Verdict verdict(sim::Time now, sim::ProcessId from, sim::ProcessId to,
+                  const net::Payload& payload, double loss_rate, sim::Rng& rng) override {
+    return shared_->verdict(now, from, to, payload, loss_rate, rng);
+  }
+
+ private:
+  ReplayDelayModel* shared_;  // non-owning
+};
+
 /// Bundles the three replay components for one run. Owns the target chooser
 /// (the Client only holds a non-owning pointer), hands delay/churn model
 /// ownership to the Network/System; must outlive the run it drives.
@@ -141,6 +177,17 @@ class TraceReplayer {
     return model;
   }
 
+  /// Sharded replay: a forwarding view over one replayer-owned shared
+  /// cursor (see SharedDelayModelView). Call once per shard Network; the
+  /// replayer must outlive them all.
+  [[nodiscard]] std::unique_ptr<net::DelayModel> make_delay_model_view() {
+    if (!shared_delay_) {
+      shared_delay_ = std::make_unique<ReplayDelayModel>(trace_);
+      delay_model_ = shared_delay_.get();
+    }
+    return std::make_unique<SharedDelayModelView>(shared_delay_.get());
+  }
+
   /// ReplayChurnModel when the recording drove a churn loop, NoChurn
   /// otherwise (then no tick events existed to reproduce).
   [[nodiscard]] std::unique_ptr<churn::ChurnModel> make_churn_model() const {
@@ -148,16 +195,25 @@ class TraceReplayer {
     return std::make_unique<churn::NoChurn>();
   }
 
+  /// Shard-filtered churn model for shard `shard` of a sharded replay.
+  [[nodiscard]] std::unique_ptr<churn::ChurnModel> make_churn_model(
+      std::uint32_t shard) const {
+    if (trace_->churn_loop) return std::make_unique<ReplayChurnModel>(trace_, shard);
+    return std::make_unique<churn::NoChurn>();
+  }
+
   [[nodiscard]] client::TargetChooser* target_chooser() { return &chooser_; }
 
-  /// The delay model built by make_delay_model (null before); valid while
-  /// the owning Network lives. For post-run divergence diagnostics.
+  /// The delay model built by make_delay_model / make_delay_model_view
+  /// (null before); valid while the owning Network (respectively this
+  /// replayer) lives. For post-run divergence diagnostics.
   [[nodiscard]] const ReplayDelayModel* delay_model() const { return delay_model_; }
 
  private:
   std::shared_ptr<const Trace> trace_;
   ReplayTargetChooser chooser_;
   ReplayDelayModel* delay_model_ = nullptr;  // non-owning
+  std::unique_ptr<ReplayDelayModel> shared_delay_;  // sharded replay only
 };
 
 }  // namespace dynreg::replay

@@ -50,10 +50,15 @@ struct NetRecord {
 
 /// One churn-driven membership action. Joins carry no id (process ids are
 /// assigned deterministically by the system); leaves name their victim.
+/// Sharded runs (src/shard/) tag each record with the shard whose System
+/// executed it: the shard's replay churn model consumes only its own
+/// records, because ids and churn ticks repeat across shards and a shared
+/// positional cursor would misroute them. Unsharded runs leave shard == 0.
 struct ChurnRecord {
   sim::Time time = 0;
   bool join = false;
   sim::ProcessId victim = 0;  ///< leaves only
+  std::uint32_t shard = 0;    ///< owning shard (format v4; 0 when unsharded)
 };
 
 /// One client target selection (Client::random_active draw).

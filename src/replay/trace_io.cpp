@@ -166,6 +166,7 @@ void encode_trace(const Trace& t, std::vector<std::uint8_t>& out) {
     prev = r.time;
     put_u8(out, r.join ? 1 : 0);
     if (!r.join) put_varint(out, r.victim);
+    put_varint(out, r.shard);  // v4: joins need routing too, so every record
   }
 
   put_varint(out, t.picks.size());
@@ -220,6 +221,7 @@ Trace decode_trace(Reader& r) {
     rec.time = prev;
     rec.join = r.u8() != 0;
     rec.victim = rec.join ? 0 : static_cast<sim::ProcessId>(r.varint());
+    rec.shard = static_cast<std::uint32_t>(r.varint());
     t.churn.push_back(rec);
   }
 
@@ -319,6 +321,15 @@ void encode_config(const harness::ExperimentConfig& cfg, std::vector<std::uint8_
                                         (cfg.fault.byzantine.forge ? 4 : 0) |
                                         (cfg.fault.byzantine.corrupt ? 8 : 0)));
   put_varint(out, cfg.fault.tick);
+  // Format v4 appendix: the shard layer and the keyed workload. (The
+  // chronicle_aggregate flag is deliberately NOT encoded: it changes memory
+  // accounting only, never results, so it must not split fingerprints.)
+  put_varint(out, cfg.shard_count);
+  put_varint(out, cfg.workload.key_count);
+  put_double(out, cfg.workload.zipf_s);
+  put_double(out, cfg.workload.read_frac);
+  put_varint(out, cfg.workload.storm_every);
+  put_varint(out, cfg.workload.storm_len);
 }
 
 harness::ExperimentConfig decode_config(const std::vector<std::uint8_t>& bytes,
@@ -376,6 +387,12 @@ harness::ExperimentConfig decode_config(const std::vector<std::uint8_t>& bytes,
   cfg.fault.byzantine.forge = (byz_kinds & 4) != 0;
   cfg.fault.byzantine.corrupt = (byz_kinds & 8) != 0;
   cfg.fault.tick = static_cast<sim::Duration>(r.varint());
+  cfg.shard_count = static_cast<std::size_t>(r.varint());
+  cfg.workload.key_count = static_cast<std::size_t>(r.varint());
+  cfg.workload.zipf_s = r.dbl();
+  cfg.workload.read_frac = r.dbl();
+  cfg.workload.storm_every = static_cast<sim::Duration>(r.varint());
+  cfg.workload.storm_len = static_cast<sim::Duration>(r.varint());
   pos = r.pos();
   return cfg;
 }

@@ -41,9 +41,13 @@ inline constexpr std::uint32_t kTraceMagic = 0x52545244u;  // "DRTR"
 // config. Version 3 added the fault-decision stream per trace (crash /
 // partition / Byzantine words, see replay/trace.h) and appended the per-op
 // client policy, ES hardening flags, and the fault::Plan to the embedded
-// config. Older files are rejected (no binary traces are kept as fixtures;
-// recordings are artifacts of the session that made them).
-inline constexpr std::uint32_t kTraceVersion = 3u;
+// config. Version 4 tags every churn record with its owning shard and
+// appends the shard layer (shard_count) and keyed-workload fields
+// (key_count, zipf_s, read_frac, storm_every, storm_len) to the embedded
+// config, so sharded runs record/replay/search like everything else. Older
+// files are rejected (no binary traces are kept as fixtures; recordings are
+// artifacts of the session that made them).
+inline constexpr std::uint32_t kTraceVersion = 4u;
 
 /// Malformed trace bytes (truncation, bad magic, version from the future,
 /// corrupted body). The message names the offending offset or field.

@@ -1,0 +1,143 @@
+#include "shard/sharded_run.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "churn/churn_model.h"
+#include "churn/system.h"
+#include "client/client.h"
+#include "consistency/history.h"
+#include "harness/builders.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "replay/hooks.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "shard/keyed_workload.h"
+#include "shard/keyspace.h"
+#include "shard/router.h"
+#include "sim/simulation.h"
+
+namespace dynreg::shard {
+
+namespace {
+
+/// One shard's owned world. Construction order inside a shard (network,
+/// history, system, client) matches the single-register pipeline; shards
+/// are built in shard order, so the whole assembly is deterministic.
+struct World {
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<consistency::History> history;
+  std::unique_ptr<churn::System> system;
+  std::unique_ptr<client::Client> client;
+  std::unique_ptr<replay::ShardChurnRecorder> churn_recorder;
+  std::size_t n = 0;
+};
+
+}  // namespace
+
+harness::MetricsReport run_sharded(const harness::ExperimentConfig& cfg,
+                                   const replay::RunHooks& hooks) {
+  sim::Simulation sim(cfg.seed);
+  const std::size_t shard_count = cfg.shard_count == 0 ? 1 : cfg.shard_count;
+
+  // Replay components must outlive the run; the shared delay cursor in
+  // particular is referenced by every shard Network's forwarding view.
+  std::unique_ptr<replay::TraceReplayer> replayer;
+  if (hooks.replay != nullptr) {
+    // Aliasing ctor: the caller guarantees *hooks.replay outlives this call.
+    replayer = std::make_unique<replay::TraceReplayer>(
+        std::shared_ptr<const replay::Trace>(std::shared_ptr<const replay::Trace>(),
+                                             hooks.replay));
+  }
+  std::optional<replay::TraceRecorder> pick_recorder;  // picks only; shared
+  if (hooks.record != nullptr) {
+    hooks.record->churn_loop =
+        cfg.churn_kind == harness::ChurnKind::kConstant && cfg.churn_rate > 0.0;
+    pick_recorder.emplace(*hooks.record);
+  }
+
+  // The keyed engine's mix coin decides whether writes exist at all;
+  // reads-only configs pin (and exempt) nobody, mirroring writes_enabled in
+  // the single-register path.
+  const bool writes = cfg.workload.read_frac < 1.0;
+
+  std::vector<World> worlds(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    World& w = worlds[s];
+    // Population slice: n/S each, remainder spread over the first shards —
+    // pure arithmetic on the config, identical on every run and worker.
+    w.n = cfg.n / shard_count + (s < cfg.n % shard_count ? 1 : 0);
+
+    std::unique_ptr<net::DelayModel> delays =
+        replayer ? replayer->make_delay_model_view() : harness::build_delays(cfg);
+    if (hooks.record != nullptr) {
+      delays = std::make_unique<replay::RecordingDelayModel>(std::move(delays),
+                                                             *hooks.record);
+    }
+    w.net = std::make_unique<net::Network>(sim, std::move(delays));
+    w.net->set_loss_rate(cfg.loss_rate);
+    if (cfg.dissemination == harness::Dissemination::kTree) {
+      w.net->set_disseminator(
+          std::make_unique<net::TreeDisseminator>(cfg.tree_fanout));
+    }
+
+    w.history = std::make_unique<consistency::History>(harness::kInitialValue);
+
+    churn::SystemConfig sys_cfg;
+    sys_cfg.initial_size = w.n;
+    sys_cfg.leave_policy = cfg.leave_policy;
+    if (writes) sys_cfg.exempt = {0};  // the shard's designated writer
+    sys_cfg.chronicle = {cfg.chronicle_aggregate, 3 * cfg.delta, cfg.duration};
+
+    std::unique_ptr<churn::ChurnModel> churn_model;
+    if (replayer) {
+      churn_model = replayer->make_churn_model(static_cast<std::uint32_t>(s));
+    } else if (cfg.churn_kind == harness::ChurnKind::kNone ||
+               cfg.churn_rate <= 0.0) {
+      churn_model = std::make_unique<churn::NoChurn>();
+    } else {
+      churn_model = std::make_unique<churn::ConstantChurn>(cfg.churn_rate);
+    }
+
+    w.system = std::make_unique<churn::System>(
+        sim, *w.net, sys_cfg, std::move(churn_model),
+        harness::build_node_factory(cfg, w.n));
+    w.client =
+        std::make_unique<client::Client>(sim, *w.system, *w.history, cfg.duration);
+
+    if (hooks.record != nullptr) {
+      w.churn_recorder = std::make_unique<replay::ShardChurnRecorder>(
+          *hooks.record, static_cast<std::uint32_t>(s));
+      w.system->set_churn_observer(w.churn_recorder.get());
+      w.client->set_target_observer(&*pick_recorder);
+    }
+    if (replayer) w.client->set_target_chooser(replayer->target_chooser());
+  }
+
+  ShardMap map(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    World& w = worlds[s];
+    map.shard(static_cast<ShardId>(s)) =
+        ShardRef{w.system.get(), w.client.get(), w.history.get(), w.net.get(),
+                 /*writer=*/0, w.n};
+  }
+  ShardedClient router(map);
+  KeyedGenerator generator(
+      KeyedGenerator::Env{sim, router, cfg.workload, cfg.duration});
+
+  // Bootstrap every shard in shard order, then open the traffic — the same
+  // relative order (members first, workload second) as the legacy pipeline.
+  for (World& w : worlds) w.system->bootstrap();
+  generator.start();
+  sim.run_until(cfg.duration);
+
+  harness::MetricsReport report;
+  router.harvest(cfg, report);
+  report.trace_hash = sim.trace_hash();
+  return report;
+}
+
+}  // namespace dynreg::shard

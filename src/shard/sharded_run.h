@@ -1,0 +1,27 @@
+// The sharded run pipeline: one sim::Simulation hosting shard_count
+// independent worlds (network + membership group + register deployment +
+// client + history each), a ShardMap/ShardedClient routing layer over them,
+// and the keyed closed-loop workload driving it. Entered from
+// harness::run_experiment when cfg.shard_count > 0; the single-register
+// path never gets here and stays byte-identical to pre-shard builds.
+#pragma once
+
+#include "harness/experiment.h"
+#include "harness/metrics.h"
+
+namespace dynreg::replay {
+struct RunHooks;
+}  // namespace dynreg::replay
+
+namespace dynreg::shard {
+
+/// Runs one sharded replica to completion and harvests the combined
+/// MetricsReport (global + per-shard slices). Honors the same record/replay
+/// hooks as the single-register pipeline: recording interleaves every
+/// shard's decisions into the one Trace in execution order; replay routes
+/// them back through shared-cursor delay/pick models and shard-filtered
+/// churn models (format v4). Fault plans are ignored.
+harness::MetricsReport run_sharded(const harness::ExperimentConfig& cfg,
+                                   const replay::RunHooks& hooks);
+
+}  // namespace dynreg::shard

@@ -9,12 +9,12 @@
 namespace dynreg::bench {
 namespace {
 
-TEST(Registry, AllEighteenExperimentsRegistered) {
+TEST(Registry, AllTwentyExperimentsRegistered) {
   const auto all = ExperimentRegistry::instance().list();
-  ASSERT_EQ(all.size(), 18u);
+  ASSERT_EQ(all.size(), 20u);
   // Ordered by paper-experiment id (numerically: E2 before E10).
   EXPECT_EQ(all.front()->id, "E1");
-  EXPECT_EQ(all.back()->id, "E18");
+  EXPECT_EQ(all.back()->id, "E20");
   for (const Experiment* e : all) {
     EXPECT_FALSE(e->name.empty());
     EXPECT_FALSE(e->paper_ref.empty());

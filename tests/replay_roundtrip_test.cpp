@@ -124,6 +124,56 @@ TEST(ReplayRoundTrip, TreeDisseminationTracesCarryTheirMode) {
   EXPECT_NE(replay::fingerprint(fanout8), key);
 }
 
+TEST(ReplayRoundTrip, ShardedExperimentsReplayJobsIndependently) {
+  // E19/E20 run the sharded pipeline: every shard's net verdicts interleave
+  // into one stream, churn records carry shard tags, and the whole thing
+  // must still round-trip through real file bytes and replay byte-identically
+  // at any worker count.
+  for (const char* name : {"shard_throughput", "shard_tail_churn"}) {
+    SCOPED_TRACE(name);
+    const Experiment* e = ExperimentRegistry::instance().find(name);
+    ASSERT_NE(e, nullptr);
+    Recorded rec = record(*e, /*jobs=*/1);
+    EXPECT_FALSE(rec.file.traces.empty());
+
+    const auto bytes = replay::encode(rec.file);
+    const std::string serial = replay_from(*e, replay::decode(bytes), /*jobs=*/1);
+    const std::string pooled = replay_from(*e, replay::decode(bytes), /*jobs=*/8);
+    EXPECT_EQ(serial, rec.json);
+    EXPECT_EQ(pooled, rec.json);
+  }
+}
+
+TEST(ReplayRoundTrip, ShardedTracesCarryTheirKeyspaceConfig) {
+  // A recorded sharded run must never be conflated with a differently
+  // partitioned or differently skewed run of the same base parameters: the
+  // v4 config appendix (shard count, key count, zipf exponent, read mix,
+  // storm phases) is part of the trace fingerprint.
+  const Experiment* e = ExperimentRegistry::instance().find("shard_tail_churn");
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(e->scenario);
+  const harness::ExperimentConfig cfg = e->scenario();
+  EXPECT_GT(cfg.shard_count, 0u);
+  const std::uint64_t key = replay::fingerprint(cfg);
+
+  harness::ExperimentConfig other = cfg;
+  other.shard_count = cfg.shard_count * 2;
+  EXPECT_NE(replay::fingerprint(other), key);
+  other = cfg;
+  other.workload.zipf_s = 0.0;
+  EXPECT_NE(replay::fingerprint(other), key);
+  other = cfg;
+  other.workload.read_frac = 0.5;
+  EXPECT_NE(replay::fingerprint(other), key);
+  other = cfg;
+  other.workload.key_count *= 2;
+  EXPECT_NE(replay::fingerprint(other), key);
+  other = cfg;
+  other.workload.storm_every = 0;
+  other.workload.storm_len = 0;
+  EXPECT_NE(replay::fingerprint(other), key);
+}
+
 TEST(ReplayRoundTrip, ScriptedScenarioExperimentsEnrollInTheSession) {
   // E1/E2/E5 build their world by hand (ScriptedCluster) rather than via
   // run_experiment; the scenario_key plumbing must still capture them.

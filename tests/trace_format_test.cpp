@@ -30,6 +30,12 @@ harness::ExperimentConfig sample_config() {
   cfg.sync_delta_pp = 3;
   cfg.workload.read_interval = 7;
   cfg.workload.write_interval = 29;
+  cfg.shard_count = 4;  // v4 appendix fields
+  cfg.workload.key_count = 96;
+  cfg.workload.zipf_s = 1.25;
+  cfg.workload.read_frac = 0.75;
+  cfg.workload.storm_every = 300;
+  cfg.workload.storm_len = 40;
   return cfg;
 }
 
@@ -47,8 +53,8 @@ TraceFile sample_file() {
   t.net.push_back(NetRecord{5, 0, 1, 2, false, 3});
   t.net.push_back(NetRecord{5, 0, 2, 2, true, 0});
   t.net.push_back(NetRecord{9, 1, 0, 4, false, 1});
-  t.churn.push_back(ChurnRecord{7, true, 0});
-  t.churn.push_back(ChurnRecord{11, false, 3});
+  t.churn.push_back(ChurnRecord{7, true, 0, 0});
+  t.churn.push_back(ChurnRecord{11, false, 3, 2});  // v4: shard-tagged
   t.picks.push_back(PickRecord{8, 2});
   f.traces.push_back(t);
 
@@ -78,6 +84,8 @@ TEST(TraceFormat, EncodeDecodeRoundTripsBitExactly) {
   ASSERT_EQ(d.traces[0].churn.size(), 2u);
   EXPECT_FALSE(d.traces[0].churn[1].join);
   EXPECT_EQ(d.traces[0].churn[1].victim, 3u);
+  EXPECT_EQ(d.traces[0].churn[0].shard, 0u);
+  EXPECT_EQ(d.traces[0].churn[1].shard, 2u);
   ASSERT_EQ(d.traces[0].picks.size(), 1u);
   EXPECT_EQ(d.traces[0].picks[0].chosen, 2u);
   EXPECT_TRUE(d.traces[1].net.empty());
@@ -104,6 +112,12 @@ TEST(TraceFormat, ConfigEncodingRoundTripsEveryField) {
   ASSERT_TRUE(d.sync_delta_pp.has_value());
   EXPECT_EQ(*d.sync_delta_pp, 3u);
   EXPECT_FALSE(d.sync_refresh_interval.has_value());
+  EXPECT_EQ(d.shard_count, 4u);  // v4 appendix
+  EXPECT_EQ(d.workload.key_count, 96u);
+  EXPECT_EQ(d.workload.zipf_s, 1.25);
+  EXPECT_EQ(d.workload.read_frac, 0.75);
+  EXPECT_EQ(d.workload.storm_every, 300u);
+  EXPECT_EQ(d.workload.storm_len, 40u);
 }
 
 TEST(TraceFormat, FingerprintIgnoresSeedAndSeesEverythingElse) {
@@ -114,6 +128,20 @@ TEST(TraceFormat, FingerprintIgnoresSeedAndSeesEverythingElse) {
   b.churn_rate += 0.001;
   EXPECT_NE(fingerprint(a), fingerprint(b));
   EXPECT_NE(fingerprint(a), 0u);
+  // v4 appendix fields are keyed too: two sharded configs differing only in
+  // shard count or workload skew must never share a trace.
+  b = a;
+  b.shard_count = a.shard_count + 1;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  b = a;
+  b.workload.zipf_s += 0.01;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  b = a;
+  b.workload.read_frac -= 0.05;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  b = a;
+  b.workload.storm_every = 0;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
 }
 
 TEST(TraceFormat, EveryTruncationThrowsCleanly) {
